@@ -1,0 +1,74 @@
+"""Ablation: message latency sensitivity.
+
+The paper reports that "communication costs are small compared to
+computational costs and therefore have no influence on the performance"
+on Gbps Ethernet.  This ablation cranks the simulated latency from LAN
+(ms) through WAN (100s of ms) to 'carrier pigeon' (longer than the whole
+run), quantifying at what point the claim breaks.
+"""
+
+import numpy as np
+
+from _common import (
+    emit,
+    N_RUNS,
+    dist_budget_per_node,
+    print_banner,
+    reference,
+    run_dist,
+    seeds,
+)
+from repro.analysis import fmt_pct, format_table, mean_excess_percent
+from repro.distributed.network import LatencyModel
+
+INSTANCE = "fl300"
+
+
+def _latencies(budget):
+    return [
+        ("LAN (1 ms)", LatencyModel(1e-3, 5e6)),
+        ("WAN (100 ms)", LatencyModel(0.1, 5e6)),
+        ("10% of budget", LatencyModel(0.1 * budget, 5e6)),
+        ("beyond budget (no msgs arrive)", LatencyModel(10 * budget, 5e6)),
+    ]
+
+
+def _experiment():
+    ref, _ = reference(INSTANCE)
+    budget = dist_budget_per_node(INSTANCE)
+    rows = []
+    means = {}
+    for label, lat in _latencies(budget):
+        lengths = []
+        received = []
+        for s in seeds(9700, N_RUNS):
+            res = run_dist(INSTANCE, "random_walk", s, budget=budget,
+                           latency=lat)
+            lengths.append(res.best_length)
+            from repro.core.events import EventKind
+
+            received.append(sum(
+                len(log.of_kind(EventKind.RECEIVED_IMPROVEMENT))
+                for log in res.event_logs.values()
+            ))
+        excess = mean_excess_percent(lengths, ref)
+        means[label] = excess
+        rows.append((label, int(np.mean(lengths)), fmt_pct(excess),
+                     f"{np.mean(received):.1f}"))
+    return rows, means
+
+
+def test_ablation_latency(once):
+    rows, means = once(_experiment)
+    print_banner(
+        f"Ablation: message latency on {INSTANCE} "
+        f"(8-node hypercube, avg of {N_RUNS} runs)",
+    )
+    emit(format_table(
+        ["latency", "mean length", "excess", "tours adopted/run"], rows,
+    ))
+
+    # Shape: LAN-scale latency is as good as it gets, and realistic
+    # latencies do not hurt (the paper's claim).
+    assert means["LAN (1 ms)"] <= means["beyond budget (no msgs arrive)"] + 0.25
+    assert means["WAN (100 ms)"] <= means["LAN (1 ms)"] + 0.35

@@ -1,0 +1,70 @@
+"""Ablation: network topology.
+
+The paper fixes an 8-node hypercube and leaves the influence of the
+structure to future work ("perspectives"); this ablation runs the same
+workload over ring, grid, hypercube, and complete topologies plus fully
+isolated nodes (no edges), separating the value of *any* cooperation
+from the value of *denser* cooperation.
+"""
+
+import numpy as np
+
+from _common import (
+    emit,
+    N_NODES,
+    N_RUNS,
+    dist_budget_per_node,
+    print_banner,
+    reference,
+    run_dist,
+    seeds,
+)
+from repro.analysis import fmt_pct, format_table, mean_excess_percent
+from repro.distributed.topology import get_topology
+
+INSTANCE = "fl300"
+
+TOPOLOGIES = {
+    "isolated (no cooperation)": {i: () for i in range(N_NODES)},
+    "ring (degree 2)": get_topology("ring", N_NODES),
+    "grid (degree 2-3)": get_topology("grid", N_NODES),
+    "hypercube (degree 3, paper)": get_topology("hypercube", N_NODES),
+    "complete (degree 7)": get_topology("complete", N_NODES),
+}
+
+
+def _experiment():
+    ref, _ = reference(INSTANCE)
+    budget = dist_budget_per_node(INSTANCE)
+    rows = []
+    means = {}
+    for label, topo in TOPOLOGIES.items():
+        lengths = []
+        msgs = []
+        for s in seeds(9600, N_RUNS):
+            res = run_dist(INSTANCE, "random_walk", s, budget=budget,
+                           topology=dict(topo))
+            lengths.append(res.best_length)
+            msgs.append(res.network_stats.messages)
+        excess = mean_excess_percent(lengths, ref)
+        means[label] = excess
+        rows.append((label, int(np.mean(lengths)), fmt_pct(excess),
+                     int(np.mean(msgs))))
+    return rows, means
+
+
+def test_ablation_topology(once):
+    rows, means = once(_experiment)
+    print_banner(
+        f"Ablation: topology on {INSTANCE} (8 nodes, avg of {N_RUNS} runs)",
+    )
+    emit(format_table(
+        ["topology", "mean length", "excess", "messages"], rows,
+    ))
+
+    # Shape: any connected topology beats (or matches) isolated nodes.
+    isolated = means["isolated (no cooperation)"]
+    connected = [v for k, v in means.items() if not k.startswith("isolated")]
+    assert min(connected) <= isolated + 1e-9
+    emit(f"\nbest connected excess {min(connected):.3f}% vs isolated "
+          f"{isolated:.3f}%")

@@ -1,0 +1,56 @@
+"""Engine microbenchmarks: the substrate costs everything else rests on.
+
+Not a paper table — this measures the repository's own hot paths
+(construction, one LK pass, one chained kick, a 1-tree) in wall-clock
+time via pytest-benchmark's normal timing machinery, so regressions in
+the engine show up even when the virtual-time results stay identical.
+"""
+
+import pytest
+
+from repro.bounds import minimum_one_tree
+from repro.construct import quick_boruvka
+from repro.localsearch import ChainedLK, LinKernighan
+from repro.tsp import generators
+from repro.utils.work import WorkMeter
+
+
+@pytest.fixture(scope="module")
+def inst():
+    instance = generators.uniform(300, rng=77)
+    instance.materialize()
+    instance.neighbor_lists(8)
+    return instance
+
+
+def test_quick_boruvka_300(benchmark, inst):
+    tour = benchmark(lambda: quick_boruvka(inst))
+    assert tour.is_valid()
+
+
+def test_lk_full_pass_300(benchmark, inst):
+    engine = LinKernighan(inst)
+
+    def run():
+        t = quick_boruvka(inst)
+        engine.optimize(t)
+        return t
+
+    tour = benchmark(run)
+    assert tour.is_valid()
+
+
+def test_clk_kick_step_300(benchmark, inst):
+    solver = ChainedLK(inst, rng=0)
+    best = solver.initial_tour()
+
+    def step():
+        return solver.step(best, WorkMeter())
+
+    cand = benchmark(step)
+    assert cand.is_valid()
+
+
+def test_one_tree_300(benchmark, inst):
+    tree = benchmark(lambda: minimum_one_tree(inst))
+    assert tree.degrees.sum() == 2 * inst.n

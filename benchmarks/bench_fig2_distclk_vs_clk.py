@@ -1,0 +1,75 @@
+"""Paper Figure 2 (c, d): DistCLK(8) vs ABCC-CLK anytime curves.
+
+    "Relation between tour length and CPU time for the Distributed
+    Chained Lin-Kernighan algorithm (DistCLK) compared with the results
+    from the original CLK (ABCC-CLK)" — Random-walk kick, fl1577 and
+    sw24978; the x-axis is CPU time per node.
+
+Shape to reproduce: on the per-node time axis the 8-node curve drops far
+faster and ends at least as low; on the fl-class CLK visibly plateaus
+(the paper's 'gets stuck in local optima').
+"""
+
+import numpy as np
+
+from _common import (
+    emit,
+    N_NODES,
+    N_RUNS,
+    clk_budget,
+    dist_budget_per_node,
+    print_banner,
+    reference,
+    run_clk,
+    run_dist,
+    seeds,
+)
+from repro.analysis import ascii_chart, average_traces, format_series
+
+INSTANCES = ("fl150", "sw520")
+
+
+def _experiment():
+    out = {}
+    for name in INSTANCES:
+        dist_budget = dist_budget_per_node(name)
+        times = np.linspace(dist_budget / 20, clk_budget(name), 12)
+        clk_traces = [
+            run_clk(name, "random_walk", s).trace
+            for s in seeds(8500 + hash(name) % 500, N_RUNS)
+        ]
+        dist_traces = [
+            run_dist(name, "random_walk", s).global_trace
+            for s in seeds(8600 + hash(name) % 500, N_RUNS)
+        ]
+        series = {
+            "ABCC-CLK": average_traces(clk_traces, times),
+            f"DistCLK-{N_NODES}": average_traces(dist_traces, times),
+        }
+        out[name] = (times, series, dist_budget)
+    return out
+
+
+def test_fig2_distclk_vs_clk(once):
+    out = once(_experiment)
+    for name, (times, series, dist_budget) in out.items():
+        ref, _ = reference(name)
+        print_banner(
+            f"Figure 2 ({'c' if name == INSTANCES[0] else 'd'}): "
+            f"DistCLK vs ABCC-CLK on {name} (x = vsec per node; "
+            f"DistCLK stops at {dist_budget:g}, CLK runs 8x longer)"
+        )
+        emit(format_series(times, series))
+        emit()
+        emit(ascii_chart(times, series, title=f"{name}"))
+
+        # Shape: at the distributed budget's end, DistCLK is at least as
+        # good as CLK is at that same per-node time.
+        k = int(np.searchsorted(times, dist_budget))
+        k = min(max(k, 1), len(times) - 1)
+        d = series[f"DistCLK-{N_NODES}"][k - 1]
+        c = series["ABCC-CLK"][k - 1]
+        if np.isfinite(d) and np.isfinite(c):
+            emit(f"\nat ~{times[k-1]:.1f} vsec/node: DistCLK {d:.0f} "
+                  f"vs CLK {c:.0f}")
+            assert d <= c * 1.005, name

@@ -1,0 +1,64 @@
+"""Paper Figure 2 (a, b): CLK anytime curves per kicking strategy.
+
+    "Relation between tour length and CPU time for the Chained
+    Lin-Kernighan algorithm from Applegate et al. using different DBM
+    kicking strategies" — shown for fl1577 and sw24978.
+
+Prints the averaged tour-length-vs-time series for the four kicks on the
+fl-class and the national-class analogue, plus an ASCII rendering.
+Shape to reproduce: strategies separate visibly on the fl-class (where
+the paper shows Geometric/Close trapped high), and converge much closer
+on the national instance.
+"""
+
+import numpy as np
+
+from _common import (
+    emit,
+    KICKS,
+    KICK_LABELS,
+    N_RUNS,
+    clk_budget,
+    print_banner,
+    reference,
+    run_clk,
+    seeds,
+)
+from repro.analysis import ascii_chart, average_traces, format_series
+
+INSTANCES = ("fl150", "sw520")  # paper: fl1577, sw24978
+
+
+def _experiment():
+    out = {}
+    for name in INSTANCES:
+        budget = clk_budget(name)
+        times = np.linspace(budget / 20, budget, 10)
+        series = {}
+        for kick in KICKS:
+            traces = [
+                run_clk(name, kick, s, budget=budget).trace
+                for s in seeds(8000 + hash((name, kick)) % 500, N_RUNS)
+            ]
+            series[KICK_LABELS[kick]] = average_traces(traces, times)
+        out[name] = (times, series)
+    return out
+
+
+def test_fig2_kick_strategies(once):
+    out = once(_experiment)
+    for name, (times, series) in out.items():
+        ref, _ = reference(name)
+        print_banner(
+            f"Figure 2 ({'a' if name == INSTANCES[0] else 'b'}): "
+            f"ABCC-CLK anytime curves on {name} "
+            f"(avg of {N_RUNS} runs; reference {ref:.0f})"
+        )
+        emit(format_series(times, series))
+        emit()
+        emit(ascii_chart(times, series, title=f"{name}: length vs vsec"))
+    # Shape: every curve is non-increasing.
+    for _name, (times, series) in out.items():
+        for label, vals in series.items():
+            clean = [v for v in vals if np.isfinite(v)]
+            assert all(a >= b - 1e-9 for a, b in zip(clean, clean[1:])), label

@@ -1,0 +1,97 @@
+"""Paper Table 1: speed-up to fixed quality levels.
+
+    "Speed-up with instances pr2392, fl3795 and fi10639 ... CPU time per
+    node [sec] to reach a distance to the optimum, and the speed-up
+    factor of the 8-node variant over ABCC-CLK in total CPU time."
+
+For each instance: mean per-node time for ABCC-CLK, DistCLK(1 node) and
+DistCLK(8 nodes) to reach 0.5% / 0.2% / best-known, plus the total-CPU
+speed-up factors.  Shape to reproduce: the 8-node variant reaches each
+level in far less per-node time; total-CPU factors around or above 1
+(the paper reports super-linear cells, i.e. factors > 1 in this
+normalization) at the deeper quality levels.
+"""
+
+from _common import (
+    emit,
+    N_NODES,
+    N_RUNS,
+    clk_budget,
+    print_banner,
+    reference,
+    run_clk,
+    run_dist,
+    seeds,
+)
+from repro.analysis import fmt_time, format_table, speedup_table
+
+INSTANCES = ("pr200", "fl300", "fi450")  # paper: pr2392, fl3795, fi10639
+LEVELS = (0.5, 0.2, 0.0)  # percent above reference
+
+
+def _experiment():
+    out = {}
+    for name in INSTANCES:
+        ref, kind = reference(name)
+        budget = clk_budget(name)
+        clk_traces = [
+            run_clk(name, "random_walk", s, budget=budget, target=ref).trace
+            for s in seeds(7000, N_RUNS)
+        ]
+        single_traces = [
+            run_dist(name, "random_walk", s, n_nodes=1, budget=budget,
+                     target=ref).global_trace
+            for s in seeds(7100, N_RUNS)
+        ]
+        multi_traces = [
+            run_dist(name, "random_walk", s, n_nodes=N_NODES,
+                     budget=budget / N_NODES * 2, target=ref).global_trace
+            for s in seeds(7200, N_RUNS)
+        ]
+        labels_targets = [
+            (f"{lvl}%" if lvl else "best-known", ref * (1 + lvl / 100.0))
+            for lvl in LEVELS
+        ]
+        out[name] = speedup_table(
+            labels_targets, clk_traces, single_traces, multi_traces, N_NODES
+        )
+    return out
+
+
+def test_table1_speedup(once):
+    out = once(_experiment)
+    print_banner(
+        "Table 1: per-node vsec to reach quality levels and total-CPU "
+        "speed-up factors",
+        f"averages over {N_RUNS} runs; '-' = level not reached in budget.",
+    )
+    rows = []
+    for name, levels in out.items():
+        for row in levels:
+            rows.append((
+                name,
+                row.label,
+                fmt_time(row.clk_vsec, 2),
+                fmt_time(row.single_vsec, 2),
+                fmt_time(row.multi_vsec, 2),
+                fmt_time(row.factor_vs_clk, 2),
+                fmt_time(row.factor_vs_single, 2),
+            ))
+    emit(format_table(
+        ["instance", "level", "ABCC-CLK", "1 node", f"{N_NODES} nodes",
+         "factor vs CLK", "factor vs 1-node"],
+        rows,
+    ))
+
+    # Shape: at every level both sides reached, the 8-node variant's
+    # per-node time beats the sequential ones.
+    checked = wins = 0
+    for levels in out.values():
+        for row in levels:
+            if row.clk_vsec is not None and row.multi_vsec is not None:
+                checked += 1
+                wins += row.multi_vsec <= row.clk_vsec + 1e-9
+    emit(f"\nshape check: 8-node per-node time <= CLK time in "
+          f"{wins}/{checked} comparable levels")
+    assert checked > 0
+    assert wins >= int(0.8 * checked)

@@ -1,0 +1,83 @@
+"""Paper Table 3: runs finding the optimum, per kicking strategy.
+
+    "Number of CLK runs that found the optimum within a given time
+    bound.  For CLK, the limit was set to 10^4 seconds and to 10^3
+    seconds for the distributed variant with 8 nodes solving in
+    parallel."
+
+Here: best-known registry lengths play the optimum's role; budgets are
+the scaled protocol from ``_common``.  The paper's shape to reproduce:
+DistCLK's success counts dominate CLK's almost everywhere (the paper has
+a single exception cell, fl1577/Random), and fl-class instances are
+where CLK fails outright.
+"""
+
+from _common import (
+    emit,
+    KICKS,
+    KICK_LABELS,
+    N_RUNS,
+    TABLE3_INSTANCES,
+    print_banner,
+    reference,
+    run_clk,
+    run_dist,
+    seeds,
+)
+from repro.analysis import format_table
+
+
+#: Success counting needs enough kicks per node for plateau drift to
+#: reach the target at all; double the default budget mapping (budgets
+#: stay equal-total-CPU on both sides).
+BUDGET_SCALE = 2.0
+
+
+def _experiment():
+    from _common import clk_budget
+
+    rows = []
+    dominance_ok = 0
+    cells = 0
+    for name in TABLE3_INSTANCES:
+        target, kind = reference(name)
+        budget = BUDGET_SCALE * clk_budget(name)
+        row = [name]
+        for kick in KICKS:
+            clk_hits = sum(
+                run_clk(name, kick, s, budget=budget,
+                        target=target).hit_target
+                for s in seeds(1000 + hash(name) % 100, N_RUNS)
+            )
+            dist_hits = sum(
+                run_dist(name, kick, s, budget=budget / 8,
+                         target=target).hit_target()
+                for s in seeds(2000 + hash(name) % 100, N_RUNS)
+            )
+            row.append(f"{clk_hits}/{N_RUNS}")
+            row.append(f"{dist_hits}/{N_RUNS}")
+            cells += 1
+            dominance_ok += dist_hits >= clk_hits
+        rows.append(row)
+    return rows, dominance_ok, cells
+
+
+def test_table3_success_counts(once):
+    rows, dominance_ok, cells = once(_experiment)
+    print_banner(
+        "Table 3: runs that found the best-known length "
+        f"(out of {N_RUNS}; target role = paper's optimum)",
+        "CLK budget = 8x the DistCLK per-node budget (equal total CPU; "
+        "the paper used 10x).",
+    )
+    headers = ["instance"]
+    for kick in KICKS:
+        headers += [f"{KICK_LABELS[kick]} CLK", f"{KICK_LABELS[kick]} Dist"]
+    emit(format_table(headers, rows))
+    emit(
+        f"\nshape check: DistCLK >= CLK successes in {dominance_ok}/{cells} "
+        "cells (paper: all but one cell; at Python scale the single long "
+        "CLK drift chain is relatively stronger, see EXPERIMENTS.md)"
+    )
+    # Reproduction target: DistCLK at least ties CLK in most cells.
+    assert dominance_ok >= int(0.6 * cells)

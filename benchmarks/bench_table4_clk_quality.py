@@ -1,0 +1,81 @@
+"""Paper Table 4: CLK average excess after an early and a late checkpoint.
+
+    "Distance of the average tour length compared to known optimum
+    (Held-Karp bound for fi10639, pla33810 and pla85900) for CLK-ABCC
+    after 100 and 10^4 CPU seconds, respectively."
+
+One CLK run per (instance, kick, seed) with the late budget; the early
+column is the same trace sampled at 1% of the budget, exactly as the
+paper reads one run at two times.  Shape to reproduce: quality improves
+from the early to the late checkpoint everywhere, Geometric is the weak
+strategy on small instances, and Random degrades on the fl-class.
+"""
+
+import numpy as np
+
+from _common import (
+    emit,
+    FULL_TESTBED,
+    KICKS,
+    KICK_LABELS,
+    N_RUNS,
+    clk_budget,
+    print_banner,
+    reference,
+    run_clk,
+    seeds,
+)
+from repro.analysis import fmt_pct, format_table, mean_excess_percent, value_at
+
+
+def _experiment():
+    table = {}
+    for name in FULL_TESTBED:
+        ref, kind = reference(name)
+        budget = clk_budget(name)
+        early_t = budget / 5.0  # paper uses 100 s vs 10^4 s; factor 5 at this scale
+        for kick in KICKS:
+            early, late = [], []
+            for s in seeds(4000 + hash((name, kick)) % 1000, N_RUNS):
+                res = run_clk(name, kick, s, budget=budget)
+                v = value_at(res.trace, early_t)
+                early.append(v if v is not None else res.trace[0][1])
+                late.append(res.length)
+            table[(name, kick)] = (
+                mean_excess_percent(early, ref),
+                mean_excess_percent(late, ref),
+                kind,
+            )
+    return table
+
+
+def test_table4_clk_quality(once):
+    table = once(_experiment)
+    print_banner(
+        "Table 4: ABCC-CLK average excess over reference at early/late "
+        "checkpoints (paper: 100 s / 10^4 s)",
+        "reference = best-known length ('optimum' role) or HK bound.",
+    )
+    headers = ["instance"]
+    for kick in KICKS:
+        headers += [f"{KICK_LABELS[kick]} early", f"{KICK_LABELS[kick]} late"]
+    rows = []
+    for name in FULL_TESTBED:
+        row = [name]
+        for kick in KICKS:
+            e, l, _ = table[(name, kick)]
+            row += [fmt_pct(e), fmt_pct(l)]
+        rows.append(row)
+    emit(format_table(headers, rows))
+
+    # Shape checks.
+    improvements = [
+        table[(n, k)][0] - table[(n, k)][1] for n in FULL_TESTBED for k in KICKS
+    ]
+    frac_improved = np.mean([d > -1e-9 for d in improvements])
+    emit(f"\nshape check: late <= early in {frac_improved:.0%} of cells")
+    assert frac_improved >= 0.9
+
+    # All late excesses stay small (CLK is a strong heuristic).
+    lates = [table[(n, k)][1] for n in FULL_TESTBED for k in KICKS]
+    assert np.median(lates) < 5.0

@@ -1,0 +1,88 @@
+"""Paper §4.2.1: variator strength and restarts case study.
+
+    "The following two example runs were selected out of ten simulation
+    runs with instance fi10639 with 8 nodes and the Random-Walk kicking
+    strategy.  For run A only a weak perturbation was enough ... Run B
+    showed that strong perturbations are necessary in some cases."
+
+Replays several runs on the fi-class analogue and narrates each like the
+paper: when NumPerturbations escalated, whether an improvement arrived
+and reset it, and whether restarts fired.  Shape to reproduce: runs
+differ in their escalation pattern — some never pass strength 1-2, some
+escalate further before a better tour arrives.
+"""
+
+import numpy as np
+
+from _common import N_RUNS, emit, print_banner, run_dist, seeds
+from repro.analysis import format_table
+from repro.core.events import EventKind
+
+INSTANCE = "fi450"  # paper: fi10639
+
+
+#: The paper's c_v=64 / c_r=256 assume ~10^3 EA iterations per node; the
+#: scaled budgets here see ~10-20, so the thresholds scale down with them
+#: (DESIGN.md budget mapping) and the case study gets a doubled budget so
+#: the escalation dynamics have room to play out.
+SCALED_CV = 2
+SCALED_CR = 8
+
+
+def _experiment():
+    from _common import dist_budget_per_node
+
+    stories = []
+    budget = 2.0 * dist_budget_per_node(INSTANCE)
+    for k, s in enumerate(seeds(9300, max(N_RUNS, 4), )):
+        res = run_dist(INSTANCE, "random_walk", s, budget=budget,
+                       c_v=SCALED_CV, c_r=SCALED_CR)
+        max_strength = 1
+        escalations = 0
+        restarts = 0
+        improvements = 0
+        received = 0
+        for log in res.event_logs.values():
+            for e in log:
+                if e.kind is EventKind.PERTURBATION_STRENGTH:
+                    escalations += 1
+                    max_strength = max(max_strength, int(e.value))
+                elif e.kind is EventKind.RESTART:
+                    restarts += 1
+                elif e.kind is EventKind.LOCAL_IMPROVEMENT:
+                    improvements += 1
+                elif e.kind is EventKind.RECEIVED_IMPROVEMENT:
+                    received += 1
+        stories.append({
+            "run": f"run {chr(65 + k)}",
+            "best": res.best_length,
+            "max_strength": max_strength,
+            "escalations": escalations,
+            "restarts": restarts,
+            "local_improvements": improvements,
+            "received_improvements": received,
+        })
+    return stories
+
+
+def test_variator_case_study(once):
+    stories = once(_experiment)
+    print_banner(
+        f"Section 4.2.1: variator strength / restart case study on "
+        f"{INSTANCE} (8 nodes, Random-walk kick)",
+    )
+    emit(format_table(
+        ["run", "best", "max NumPerturbations", "escalations", "restarts",
+         "local improv.", "received improv."],
+        [tuple(s.values()) for s in stories],
+    ))
+    emit(f"\n(c_v={SCALED_CV}, c_r={SCALED_CR}: the paper's 64/256 "
+          "scaled to the shorter virtual budgets)")
+    emit("paper narrative: run A stayed at weak perturbation; run B "
+          "escalated to strength 4 before a better tour arrived.")
+
+    # Shape: the perturbation machinery is actually exercised (some run
+    # escalates beyond strength 1) and runs differ in their patterns.
+    assert any(s["max_strength"] >= 2 for s in stories)
+    assert len({(s["max_strength"], s["restarts"]) for s in stories}) > 1
+    assert sum(s["received_improvements"] for s in stories) > 0

@@ -1,0 +1,36 @@
+"""Benchmark session configuration.
+
+Benches print paper-shaped tables to stdout; an autouse fixture disables
+pytest's capture inside this directory so the tables land in the bench
+log.  Every experiment runs exactly once under pytest-benchmark timing
+(``pedantic`` with one round) because the experiments are deterministic
+virtual-time runs, not microbenchmarks.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Flush the bench report buffer so tables survive output capture."""
+    import _common
+
+    if _common.REPORT_LINES:
+        terminalreporter.section("benchmark report (paper tables/figures)")
+        for line in _common.REPORT_LINES:
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,61 @@
+"""Solve an asymmetric TSP with the symmetric engine (paper §1 setup).
+
+The paper defines ATSP alongside STSP but evaluates only symmetric
+instances.  The classical Jonker-Volgenant embedding closes the gap:
+each city splits into an out/in pair tied by a mandatory ghost edge, and
+any symmetric solver — here the distributed CLK — becomes an ATSP
+solver.
+
+The demo instance is a "one-way ring road" city: driving with the ring
+is fast, against it slow, and crossing downtown costs a toll.
+
+Run:  python examples/asymmetric_tsp.py
+"""
+
+import numpy as np
+
+from repro import solve
+from repro.tsp.atsp import (
+    atsp_to_stsp,
+    atsp_tour_cost,
+    directed_tour_from_symmetric,
+)
+
+
+def one_way_city(n: int, seed: int = 0) -> np.ndarray:
+    """Asymmetric costs: cheap clockwise ring, expensive counter-flow."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(40, 80, size=(n, n)).astype(np.int64)
+    c = (base + base.T) // 2  # symmetric congestion part
+    for i in range(n):
+        c[i, (i + 1) % n] = 5          # with the ring: fast
+        c[(i + 1) % n, i] = 95         # against the ring: painful
+    np.fill_diagonal(c, 0)
+    return c
+
+
+def main() -> None:
+    n = 14
+    costs = one_way_city(n, seed=3)
+    print(f"asymmetric instance: {n} cities, "
+          f"asymmetry example c[0,1]={costs[0, 1]} vs c[1,0]={costs[1, 0]}")
+
+    instance, offset = atsp_to_stsp(costs, name="oneway14")
+    print(f"embedded as symmetric instance with {instance.n} cities")
+
+    result = solve(instance, budget_vsec_per_node=1.5, n_nodes=4, rng=0)
+    order = directed_tour_from_symmetric(result.best_tour, n)
+    cost = atsp_tour_cost(costs, order)
+
+    print(f"\ndirected tour: {' -> '.join(map(str, order.tolist()))}")
+    print(f"directed cost: {cost} "
+          f"(= symmetric {result.best_length} {offset:+d})")
+
+    ring = atsp_tour_cost(costs, np.arange(n))
+    print(f"clockwise ring reference: {ring}")
+    assert cost <= ring, "solver should at least find the ring"
+    print("solver matched or beat the one-way ring, as it must.")
+
+
+if __name__ == "__main__":
+    main()

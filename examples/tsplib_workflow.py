@@ -1,0 +1,49 @@
+"""TSPLIB file workflow: write, read, solve, export the tour.
+
+The library bundles no TSPLIB data (the testbed is generated), but real
+``.tsp`` files drop straight in.  This example creates one on disk,
+reads it back, solves it, and writes a ``.tour`` file — the round trip a
+user with their own TSPLIB instances needs.
+
+Run:  python examples/tsplib_workflow.py [path/to/instance.tsp]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import solve
+from repro.tsp import generators, tsplib
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        tsp_path = Path(sys.argv[1])
+        print(f"loading user instance {tsp_path}")
+        instance = tsplib.load(tsp_path)
+        out_dir = tsp_path.parent
+    else:
+        out_dir = Path(tempfile.mkdtemp(prefix="repro-tsplib-"))
+        tsp_path = out_dir / "demo.tsp"
+        print(f"no file given; generating a demo instance at {tsp_path}")
+        tsplib.dump(generators.grid_pcb(120, rng=4, name="demo120"), tsp_path)
+        instance = tsplib.load(tsp_path)
+
+    print(f"instance: {instance.name}, n={instance.n}, "
+          f"metric {instance.edge_weight_type}")
+
+    result = solve(instance, budget_vsec_per_node=2.0, n_nodes=4, rng=0)
+    print(f"best tour: {result.best_length}")
+
+    tour_path = out_dir / f"{instance.name}.tour"
+    tsplib.dump_tour(result.best_tour, tour_path, name=instance.name)
+    print(f"tour written to {tour_path}")
+
+    # Verify the round trip.
+    back = tsplib.load_tour(tour_path, instance)
+    assert back.length == result.best_length
+    print("tour file round-trip verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Inspect a saved run (see ``repro solve --save-run`` / `runio.save_run`).
+
+    python scripts/show_run.py run.json INSTANCE
+
+Prints the run summary, the anytime curve as an ASCII chart, and (for
+geometric instances) the best tour rendered on a character grid.
+INSTANCE resolves like the CLI's argument (path / testbed name /
+generator spec) and must be the instance the run was produced on.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis import ascii_chart, plot_tour, sample
+from repro.analysis.runio import load_run
+from repro.cli import resolve_instance
+from repro.distributed.simulator import SimulationResult
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    run_path, spec = argv
+    instance = resolve_instance(spec)
+    run = load_run(run_path, instance)
+
+    if isinstance(run, SimulationResult):
+        trace = run.global_trace
+        print(f"distributed run on {instance.name}: best {run.best_length} "
+              f"(node {run.best_node} at {run.best_found_at:.2f} vsec)")
+        for node_id in sorted(run.reasons):
+            print(f"  node {node_id}: {run.clocks[node_id]:.2f} vsec, "
+                  f"{run.reasons[node_id]}")
+        tour = run.best_tour
+    else:
+        trace = run.trace
+        print(f"CLK run on {instance.name}: {run.length} after "
+              f"{run.kicks} kicks ({run.work_vsec:.2f} vsec)")
+        tour = run.tour
+
+    if len(trace) >= 2:
+        t_end = trace[-1][0]
+        times = np.linspace(trace[0][0], max(t_end, trace[0][0] + 1e-9), 24)
+        print()
+        print(ascii_chart(times, {"best": sample(trace, times)},
+                          title="anytime curve (vsec vs length)"))
+    if instance.coords is not None:
+        print()
+        print(plot_tour(tour))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .
+--no-use-pep517`) on environments without the `wheel` package.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

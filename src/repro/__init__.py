@@ -1,0 +1,35 @@
+"""repro: Distributed Chained Lin-Kernighan for the TSP.
+
+Reproduction of Fischer & Merz, "A Distributed Chained Lin-Kernighan
+Algorithm for TSP Problems" (IPDPS 2005).  See README.md for a tour of the
+API and DESIGN.md for the system inventory.
+
+Quickstart::
+
+    from repro import generators, solve
+    inst = generators.clustered(200, rng=0)
+    result = solve(inst, budget_vsec_per_node=5.0, n_nodes=8, rng=0)
+    print(result.best_length, result.reasons)
+"""
+
+from .core import NodeConfig, replicate, solve
+from .localsearch import ChainedLK, LKConfig, chained_lk, lin_kernighan
+from .tsp import TSPInstance, Tour, generators, registry, tsplib
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve",
+    "replicate",
+    "NodeConfig",
+    "chained_lk",
+    "ChainedLK",
+    "lin_kernighan",
+    "LKConfig",
+    "TSPInstance",
+    "Tour",
+    "generators",
+    "registry",
+    "tsplib",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Analysis: quality metrics, anytime curves, speed-ups, reporting."""
+
+from .normalization import (
+    NormalizationFactor,
+    measure_machine_factor,
+    normalize_times,
+)
+from .plotting import plot_instance, plot_tour
+from .quality import (
+    excess_percent,
+    mean_excess_percent,
+    reference_length,
+    success_count,
+)
+from .reporting import ascii_chart, fmt_pct, fmt_time, format_series, format_table
+from .runio import load_run, save_run
+from .statistics import (
+    Comparison,
+    bootstrap_mean_ci,
+    compare_runs,
+    paired_compare,
+)
+from .speedup import QualityLevelRow, speedup_table, time_to_quality_stats
+from .timeseries import average_traces, merge_min, sample, time_to_target, value_at
+
+__all__ = [
+    "excess_percent",
+    "mean_excess_percent",
+    "success_count",
+    "reference_length",
+    "value_at",
+    "sample",
+    "average_traces",
+    "time_to_target",
+    "merge_min",
+    "QualityLevelRow",
+    "speedup_table",
+    "time_to_quality_stats",
+    "NormalizationFactor",
+    "measure_machine_factor",
+    "normalize_times",
+    "format_table",
+    "format_series",
+    "ascii_chart",
+    "fmt_pct",
+    "fmt_time",
+    "plot_instance",
+    "plot_tour",
+    "save_run",
+    "load_run",
+    "Comparison",
+    "compare_runs",
+    "paired_compare",
+    "bootstrap_mean_ci",
+]

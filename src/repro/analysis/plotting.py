@@ -1,0 +1,71 @@
+"""ASCII rendering of instances and tours.
+
+Terminal-friendly visual sanity checks: a scatter of the cities, the
+tour's edges rasterized onto a character grid, or both.  Used by the
+examples and handy in a REPL when a tour "looks wrong" numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["plot_instance", "plot_tour"]
+
+_CITY = "o"
+_EDGE = "."
+
+
+def _raster(coords: np.ndarray, width: int, height: int):
+    lo = coords.min(axis=0)
+    span = coords.max(axis=0) - lo
+    span[span == 0] = 1.0
+    xs = ((coords[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int)
+    ys = ((coords[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int)
+    return xs, ys
+
+
+def plot_instance(instance, width: int = 72, height: int = 24) -> str:
+    """Scatter the cities of a geometric instance on a character grid."""
+    if instance.coords is None:
+        raise ValueError("plotting requires coordinates")
+    xs, ys = _raster(instance.coords, width, height)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        grid[height - 1 - y][x] = _CITY
+    body = "\n".join("".join(row) for row in grid)
+    return f"{instance.name} (n={instance.n})\n{body}"
+
+
+def _draw_line(grid, x0, y0, x1, y1) -> None:
+    """Bresenham-ish line of edge glyphs (endpoints left to the caller)."""
+    steps = max(abs(x1 - x0), abs(y1 - y0))
+    for k in range(1, steps):
+        t = k / steps
+        x = round(x0 + (x1 - x0) * t)
+        y = round(y0 + (y1 - y0) * t)
+        if grid[y][x] == " ":
+            grid[y][x] = _EDGE
+
+
+def plot_tour(tour, width: int = 72, height: int = 24) -> str:
+    """Render a tour: cities as ``o``, edges as dotted lines."""
+    instance = tour.instance
+    if instance.coords is None:
+        raise ValueError("plotting requires coordinates")
+    xs, ys = _raster(instance.coords, width, height)
+    grid = [[" "] * width for _ in range(height)]
+    order = tour.order
+    n = len(order)
+    for k in range(n):
+        a, b = int(order[k]), int(order[(k + 1) % n])
+        _draw_line(
+            grid,
+            xs[a], height - 1 - ys[a],
+            xs[b], height - 1 - ys[b],
+        )
+    for x, y in zip(xs, ys):
+        grid[height - 1 - y][x] = _CITY
+    body = "\n".join("".join(row) for row in grid)
+    return (
+        f"{instance.name} (n={instance.n}), tour length {tour.length}\n{body}"
+    )

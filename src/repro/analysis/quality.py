@@ -1,0 +1,58 @@
+"""Tour-quality metrics.
+
+The paper reports quality as percentage above the optimum or, where no
+optimum is known, above the Held-Karp lower bound (Tables 4 and 5); and
+success as the number of runs out of 10 that reached the optimum
+(Table 3).  These helpers centralize those computations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "excess_percent",
+    "mean_excess_percent",
+    "success_count",
+    "reference_length",
+]
+
+
+def excess_percent(length: float, reference: float) -> float:
+    """Percentage above a reference length (0.0 == at the reference)."""
+    if reference <= 0:
+        raise ValueError("reference length must be positive")
+    return (length / reference - 1.0) * 100.0
+
+
+def mean_excess_percent(lengths: Iterable[float], reference: float) -> float:
+    """Average excess over a set of run results (the paper's table cells)."""
+    arr = np.asarray(list(lengths), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no lengths given")
+    return float(np.mean(arr / reference - 1.0) * 100.0)
+
+
+def success_count(lengths: Iterable[float], target: float) -> int:
+    """Number of runs that reached the target (paper Table 3 cells)."""
+    return int(sum(1 for x in lengths if x <= target))
+
+
+def reference_length(name: str) -> tuple[Optional[float], str]:
+    """Best reference for a testbed instance: ``(value, kind)``.
+
+    Prefers the best-known length ('optimum' role); falls back to the
+    cached Held-Karp bound ('hk'), mirroring the paper's convention.
+    Returns ``(None, 'none')`` when neither is cached.
+    """
+    from ..tsp import registry
+
+    bk = registry.best_known(name)
+    if bk is not None:
+        return float(bk), "optimum"
+    hk = registry.hk_bound(name)
+    if hk is not None:
+        return hk, "hk"
+    return None, "none"

@@ -1,0 +1,142 @@
+"""Run persistence: save and reload experiment results as JSON.
+
+Long experiments (the paper's are 10^4-10^5 CPU seconds each) should not
+be re-run to re-plot; this module serializes the result objects of both
+solvers — sequential CLK and distributed runs — with their traces, and
+reloads them for the analysis layer.  Tours round-trip exactly; event
+logs keep their timestamps and kinds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.events import Event, EventKind, EventLog
+from ..distributed.network import NetworkStats
+from ..distributed.simulator import SimulationResult
+from ..localsearch.chained_lk import ChainedLKResult
+from ..tsp.tour import Tour
+
+__all__ = ["save_run", "load_run"]
+
+_FORMAT_VERSION = 1
+
+
+def _tour_to_json(tour: Tour) -> dict:
+    return {
+        "order": [int(c) for c in tour.order],
+        "length": int(tour.length),
+    }
+
+
+def _events_to_json(log: EventLog) -> list:
+    return [
+        {"vsec": e.vsec, "kind": e.kind.value, "value": e.value}
+        for e in log
+    ]
+
+
+def _events_from_json(node_id: int, data: list) -> EventLog:
+    log = EventLog(node_id)
+    for rec in data:
+        log.record(rec["vsec"], EventKind(rec["kind"]), rec["value"])
+    return log
+
+
+def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
+    """Serialize a :class:`ChainedLKResult` or :class:`SimulationResult`."""
+    if isinstance(result, ChainedLKResult):
+        doc = {
+            "format": _FORMAT_VERSION,
+            "type": "clk",
+            "instance": instance_name,
+            "tour": _tour_to_json(result.tour),
+            "kicks": result.kicks,
+            "improvements": result.improvements,
+            "work_vsec": result.work_vsec,
+            "hit_target": result.hit_target,
+            "trace": [[float(t), int(l)] for t, l in result.trace],
+        }
+    elif isinstance(result, SimulationResult):
+        doc = {
+            "format": _FORMAT_VERSION,
+            "type": "distributed",
+            "instance": instance_name,
+            "tour": _tour_to_json(result.best_tour),
+            "best_node": result.best_node,
+            "best_found_at": result.best_found_at,
+            "reasons": {str(k): v for k, v in result.reasons.items()},
+            "clocks": {str(k): float(v) for k, v in result.clocks.items()},
+            "events": {
+                str(k): _events_to_json(v)
+                for k, v in result.event_logs.items()
+            },
+            "network": {
+                "broadcasts": result.network_stats.broadcasts,
+                "messages": result.network_stats.messages,
+                "tour_messages": result.network_stats.tour_messages,
+                "notification_messages":
+                    result.network_stats.notification_messages,
+                "broadcast_log": [
+                    [int(s), float(t)]
+                    for s, t in result.network_stats.broadcast_log
+                ],
+            },
+            "global_trace": [[float(t), int(l)] for t, l in
+                             result.global_trace],
+        }
+    else:
+        raise TypeError(f"cannot serialize {type(result).__name__}")
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def load_run(path: Union[str, Path], instance):
+    """Reload a saved run against its instance.
+
+    Returns a :class:`ChainedLKResult` or :class:`SimulationResult`
+    equivalent to the saved one (tours and traces round-trip exactly).
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported run format: {doc.get('format')!r}")
+    tour = Tour(instance, np.array(doc["tour"]["order"], dtype=np.intp))
+    if tour.length != doc["tour"]["length"]:
+        raise ValueError(
+            "saved tour length does not match the instance "
+            f"({doc['tour']['length']} vs {tour.length}); wrong instance?"
+        )
+    if doc["type"] == "clk":
+        return ChainedLKResult(
+            tour=tour,
+            kicks=doc["kicks"],
+            improvements=doc["improvements"],
+            work_vsec=doc["work_vsec"],
+            hit_target=doc["hit_target"],
+            trace=[(t, l) for t, l in doc["trace"]],
+        )
+    if doc["type"] == "distributed":
+        stats = NetworkStats(
+            broadcasts=doc["network"]["broadcasts"],
+            messages=doc["network"]["messages"],
+            tour_messages=doc["network"]["tour_messages"],
+            notification_messages=doc["network"]["notification_messages"],
+            broadcast_log=[(s, t) for s, t in doc["network"]["broadcast_log"]],
+        )
+        return SimulationResult(
+            best_tour=tour,
+            best_node=doc["best_node"],
+            best_found_at=doc["best_found_at"],
+            reasons={int(k): v for k, v in doc["reasons"].items()},
+            clocks={int(k): v for k, v in doc["clocks"].items()},
+            event_logs={
+                int(k): _events_from_json(int(k), v)
+                for k, v in doc["events"].items()
+            },
+            network_stats=stats,
+            global_trace=[(t, l) for t, l in doc["global_trace"]],
+        )
+    raise ValueError(f"unknown run type {doc['type']!r}")

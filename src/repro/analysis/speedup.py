@@ -1,0 +1,81 @@
+"""Speed-up accounting (paper Table 1).
+
+The paper's speed-up factor compares *total CPU time summed over all
+nodes* to reach a given quality level: a factor above the node count
+means super-linear speed-up from cooperation.  Given per-run traces whose
+time axis is per-node CPU time, total CPU time = per-node time × node
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .timeseries import time_to_target
+
+__all__ = ["QualityLevelRow", "time_to_quality_stats", "speedup_table"]
+
+
+@dataclass(frozen=True)
+class QualityLevelRow:
+    """One row of a speed-up table: times (per-node) and factors."""
+
+    label: str
+    target: float
+    clk_vsec: Optional[float]
+    single_vsec: Optional[float]
+    multi_vsec: Optional[float]
+    n_nodes: int
+
+    @property
+    def factor_vs_clk(self) -> Optional[float]:
+        """CLK total time / distributed total time (>n_nodes = superlinear)."""
+        if self.clk_vsec is None or self.multi_vsec is None or self.multi_vsec <= 0:
+            return None
+        return self.clk_vsec / (self.multi_vsec * self.n_nodes)
+
+    @property
+    def factor_vs_single(self) -> Optional[float]:
+        """1-node total time / n-node total time."""
+        if (
+            self.single_vsec is None
+            or self.multi_vsec is None
+            or self.multi_vsec <= 0
+        ):
+            return None
+        return self.single_vsec / (self.multi_vsec * self.n_nodes)
+
+
+def time_to_quality_stats(
+    traces: Sequence[Sequence], target: float
+) -> Optional[float]:
+    """Mean time-to-target over the runs that reached it (None if none)."""
+    times = [time_to_target(tr, target) for tr in traces]
+    times = [t for t in times if t is not None]
+    return float(np.mean(times)) if times else None
+
+
+def speedup_table(
+    labels_targets: Sequence[tuple],
+    clk_traces: Sequence[Sequence],
+    single_traces: Sequence[Sequence],
+    multi_traces: Sequence[Sequence],
+    n_nodes: int,
+) -> list[QualityLevelRow]:
+    """Build Table-1 rows for the given (label, target-length) levels."""
+    rows = []
+    for label, target in labels_targets:
+        rows.append(
+            QualityLevelRow(
+                label=label,
+                target=float(target),
+                clk_vsec=time_to_quality_stats(clk_traces, target),
+                single_vsec=time_to_quality_stats(single_traces, target),
+                multi_vsec=time_to_quality_stats(multi_traces, target),
+                n_nodes=n_nodes,
+            )
+        )
+    return rows

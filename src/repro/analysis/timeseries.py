@@ -1,0 +1,85 @@
+"""Anytime curves: tour length as a function of CPU time.
+
+Every solver in the library emits a *trace* — a list of ``(vsec, length)``
+pairs recorded at improvements.  A trace defines a right-continuous step
+function; this module samples, averages and compares such step functions,
+which is what the paper's Figures 2/3 and its time-to-quality statements
+are made of.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "value_at",
+    "sample",
+    "average_traces",
+    "time_to_target",
+    "merge_min",
+]
+
+
+def value_at(trace: Sequence, t: float) -> Optional[float]:
+    """Step-function value of a trace at time ``t``.
+
+    ``None`` before the first recorded point (no tour existed yet).
+    """
+    best = None
+    for vsec, length in trace:
+        if vsec > t:
+            break
+        best = length
+    return best
+
+
+def sample(trace: Sequence, times: Iterable[float]) -> np.ndarray:
+    """Sample a trace at the given times; NaN before the first point."""
+    times = np.asarray(list(times), dtype=np.float64)
+    out = np.full(times.shape, np.nan)
+    for k, t in enumerate(times):
+        v = value_at(trace, float(t))
+        if v is not None:
+            out[k] = v
+    return out
+
+
+def average_traces(traces: Sequence[Sequence], times: Iterable[float]) -> np.ndarray:
+    """Average several runs' step functions at common sample times.
+
+    Runs that have no tour yet at a sample time are excluded from that
+    time's average (the paper's averages over 10 runs behave the same
+    way); all-NaN columns stay NaN.
+    """
+    times = np.asarray(list(times), dtype=np.float64)
+    rows = np.stack([sample(tr, times) for tr in traces])
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(rows, axis=0)
+
+
+def time_to_target(trace: Sequence, target: float) -> Optional[float]:
+    """First time the trace reaches ``target`` or better; None if never."""
+    for vsec, length in trace:
+        if length <= target:
+            return float(vsec)
+    return None
+
+
+def merge_min(traces: Sequence[Sequence]) -> list:
+    """Merge traces into the running minimum across all of them.
+
+    Used to build a network-wide best curve from per-node improvement
+    logs (per-node time axis, as the paper plots 'CPU time per node').
+    """
+    events = sorted(
+        (float(v), int(l)) for tr in traces for v, l in tr
+    )
+    out: list = []
+    best = None
+    for vsec, length in events:
+        if best is None or length < best:
+            best = length
+            out.append((vsec, length))
+    return out

@@ -1,0 +1,24 @@
+"""Comparator algorithms from the paper's related-work table.
+
+The ABCC-CLK baseline itself is :func:`repro.localsearch.chained_lk`
+(the same engine the distributed algorithm embeds, exactly as in the
+paper, where both sides run Concorde's linkern).
+"""
+
+from .alpha import alpha_candidate_lists, alpha_matrix
+from .lkh_style import LKHStyleResult, lkh_style
+from .multilevel import MultilevelResult, coarsen_once, multilevel_clk
+from .tour_merging import TourMergingResult, tour_merging, union_candidate_lists
+
+__all__ = [
+    "alpha_matrix",
+    "alpha_candidate_lists",
+    "lkh_style",
+    "LKHStyleResult",
+    "multilevel_clk",
+    "MultilevelResult",
+    "coarsen_once",
+    "tour_merging",
+    "TourMergingResult",
+    "union_candidate_lists",
+]

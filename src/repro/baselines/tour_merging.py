@@ -1,0 +1,133 @@
+"""Cook & Seymour-style tour merging baseline (TM-CLK).
+
+The original algorithm runs k independent CLK runs, forms the graph union
+of their edge sets (a very sparse graph that usually contains a
+near-optimal — sometimes optimal — tour), and finds the best Hamiltonian
+cycle in that union exactly via branch decomposition.
+
+Substitution (documented in DESIGN.md): the exact branch-decomposition DP
+is replaced by *restricted local search* — LK whose candidate lists are
+exactly the union-graph adjacencies, started from the best of the k
+tours.  This keeps the defining mechanism (recombining edges that
+different local optima agree on) at a fraction of the implementation
+weight; on the testbed the union graph is dense enough in good edges that
+restricted LK recovers most of the exact method's benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..localsearch.chained_lk import ChainedLK
+from ..localsearch.lin_kernighan import LinKernighan, LKConfig
+from ..tsp.tour import Tour
+from ..utils.rng import ensure_rng, spawn_rngs
+from ..utils.work import OPS_PER_VSEC, WorkMeter
+
+__all__ = ["TourMergingResult", "tour_merging", "union_candidate_lists"]
+
+
+@dataclass
+class TourMergingResult:
+    """Outcome of a tour-merging run."""
+
+    tour: Tour
+    source_lengths: list
+    union_edges: int
+    work_vsec: float
+    trace: list = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return self.tour.length
+
+
+def union_candidate_lists(instance, tours: list[Tour]) -> np.ndarray:
+    """Adjacency lists of the union graph of the tours' edges.
+
+    Rows are padded (cycled) to equal width so the LK engine can consume
+    them like ordinary neighbour arrays; each row is sorted by distance.
+    """
+    n = instance.n
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for tour in tours:
+        order = tour.order
+        nxt = np.roll(order, -1)
+        for a, b in zip(order, nxt):
+            adj[int(a)].add(int(b))
+            adj[int(b)].add(int(a))
+    width = max(len(s) for s in adj)
+    out = np.empty((n, width), dtype=np.int32)
+    for i, s in enumerate(adj):
+        cand = np.fromiter(s, dtype=np.int64, count=len(s))
+        d = instance.dist_many(i, cand)
+        cand = cand[np.lexsort((cand, d))]
+        reps = int(np.ceil(width / len(cand)))
+        out[i] = np.tile(cand, reps)[:width]
+    return out
+
+
+def tour_merging(
+    instance,
+    n_tours: int = 10,
+    clk_kicks: int | None = None,
+    budget_vsec: float | None = None,
+    kick: str = "geometric",
+    rng=None,
+) -> TourMergingResult:
+    """Generate ``n_tours`` CLK tours, then optimize inside their union.
+
+    ``clk_kicks`` defaults to the instance size (the paper's TM-CLK data
+    uses N iterations with the Geometric kick).
+    """
+    rng = ensure_rng(rng)
+    rngs = spawn_rngs(rng, n_tours + 1)
+    meter = (
+        WorkMeter.with_vsec_budget(budget_vsec)
+        if budget_vsec is not None
+        else WorkMeter()
+    )
+    kicks = clk_kicks if clk_kicks is not None else instance.n
+    trace: list = []
+
+    tours: list[Tour] = []
+    for r in rngs[:-1]:
+        if tours and meter.exhausted():
+            break
+        solver = ChainedLK(instance, kick=kick, rng=r)
+        remaining = meter.remaining_ops() / OPS_PER_VSEC
+        result = solver.run(
+            max_kicks=kicks,
+            budget_vsec=remaining if np.isfinite(remaining) else None,
+        )
+        meter.tick(int(result.work_vsec * OPS_PER_VSEC))
+        tours.append(result.tour)
+        trace.append((meter.vsec, min(t.length for t in tours)))
+
+    # Merge: restricted LK over the union graph from the best source tour.
+    candidates = union_candidate_lists(instance, tours)
+    config = LKConfig(
+        neighbor_k=candidates.shape[1], max_depth=64, breadth=(8, 4, 2)
+    )
+    lk = LinKernighan(instance, config)
+    lk.neighbors = candidates
+    best = min(tours, key=lambda t: t.length).copy()
+    lk.optimize(best, meter)
+    trace.append((meter.vsec, best.length))
+
+    return TourMergingResult(
+        tour=best,
+        source_lengths=[t.length for t in tours],
+        union_edges=_count_union_edges(tours),
+        work_vsec=meter.vsec,
+        trace=trace,
+    )
+
+
+def _count_union_edges(tours: list[Tour]) -> int:
+    edges = set()
+    for t in tours:
+        edges |= t.edge_set()
+    return len(edges)

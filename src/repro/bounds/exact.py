@@ -1,0 +1,90 @@
+"""Exact TSP solvers for small instances.
+
+Used by tests to validate heuristics against ground truth:
+
+* :func:`held_karp_exact` — the O(n^2 2^n) dynamic program, vectorized over
+  subsets with NumPy; practical to n ≈ 16.
+* :func:`brute_force` — O((n-1)!/2) enumeration, practical to n ≈ 10; used
+  to validate the DP itself.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+
+__all__ = ["held_karp_exact", "brute_force"]
+
+_MAX_DP_N = 18
+
+
+def held_karp_exact(instance) -> tuple[int, np.ndarray]:
+    """Optimal tour by Held-Karp dynamic programming.
+
+    Returns ``(optimal_length, order)`` with ``order[0] == 0``.
+    """
+    n = instance.n
+    if n > _MAX_DP_N:
+        raise ValueError(f"held_karp_exact limited to n <= {_MAX_DP_N}, got {n}")
+    d = instance.distance_matrix().astype(np.int64)
+
+    # dp[mask, j]: cost of a path 0 -> ... -> j visiting exactly the cities
+    # in mask (mask over cities 1..n-1, bit k <-> city k+1), ending at j.
+    m = n - 1
+    size = 1 << m
+    INF = np.iinfo(np.int64).max // 4
+    dp = np.full((size, m), INF, dtype=np.int64)
+    parent = np.full((size, m), -1, dtype=np.int16)
+    for j in range(m):
+        dp[1 << j, j] = d[0, j + 1]
+
+    for mask in range(1, size):
+        members = [j for j in range(m) if mask >> j & 1]
+        if len(members) < 2:
+            continue
+        for j in members:
+            pmask = mask ^ (1 << j)
+            prev = [k for k in range(m) if pmask >> k & 1]
+            costs = dp[pmask, prev] + d[np.array(prev) + 1, j + 1]
+            k = int(np.argmin(costs))
+            dp[mask, j] = costs[k]
+            parent[mask, j] = prev[k]
+
+    full = size - 1
+    totals = dp[full] + d[1:, 0]
+    j = int(np.argmin(totals))
+    best = int(totals[j])
+
+    # Backtrack.
+    order = [0]
+    mask = full
+    path = []
+    while j >= 0:
+        path.append(j + 1)
+        pj = int(parent[mask, j])
+        mask ^= 1 << j
+        j = pj
+    order.extend(reversed(path))
+    return best, np.array(order, dtype=np.intp)
+
+
+def brute_force(instance) -> tuple[int, np.ndarray]:
+    """Optimal tour by exhaustive enumeration (tiny instances only)."""
+    n = instance.n
+    if n > 11:
+        raise ValueError(f"brute_force limited to n <= 11, got {n}")
+    d = instance.distance_matrix()
+    best = None
+    best_perm = None
+    for perm in permutations(range(1, n)):
+        # Fix direction: avoid counting each cycle twice.
+        if perm[0] > perm[-1]:
+            continue
+        length = d[0, perm[0]] + d[perm[-1], 0]
+        for a, b in zip(perm, perm[1:]):
+            length += d[a, b]
+        if best is None or length < best:
+            best = int(length)
+            best_perm = perm
+    return best, np.array((0,) + best_perm, dtype=np.intp)

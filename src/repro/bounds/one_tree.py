@@ -1,0 +1,87 @@
+"""Minimum 1-trees with node penalties.
+
+A *1-tree* (Held & Karp) is a spanning tree on cities ``1..n-1`` plus the
+two cheapest edges incident to the special city ``0``.  Its weight under
+penalized distances ``d(i,j) + pi[i] + pi[j]`` minus ``2 * sum(pi)`` lower
+bounds the optimal tour length for any penalty vector ``pi``; maximizing
+over ``pi`` gives the Held-Karp bound (see :mod:`repro.bounds.held_karp`).
+
+The same machinery computes Helsgaun's *alpha-nearness* values used by the
+LKH-style baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.csgraph import minimum_spanning_tree
+
+__all__ = ["OneTree", "minimum_one_tree"]
+
+
+@dataclass(frozen=True)
+class OneTree:
+    """A minimum 1-tree under penalized distances.
+
+    Attributes
+    ----------
+    edges:
+        ``(n, 2)`` int array of the 1-tree's edges (tree edges plus the two
+        special edges at city 0).
+    degrees:
+        ``(n,)`` degree of each city in the 1-tree.  A 1-tree with all
+        degrees equal to 2 is an optimal tour.
+    weight:
+        Total penalized weight of the edges.
+    bound:
+        Held-Karp style lower bound: ``weight - 2 * pi.sum()``.
+    """
+
+    edges: np.ndarray
+    degrees: np.ndarray
+    weight: float
+    bound: float
+
+
+def _penalized_matrix(instance, pi: np.ndarray) -> np.ndarray:
+    d = instance.distance_matrix().astype(np.float64)
+    return d + pi[:, None] + pi[None, :]
+
+
+def minimum_one_tree(instance, pi: np.ndarray | None = None,
+                     special: int = 0) -> OneTree:
+    """Minimum 1-tree of the instance under node penalties ``pi``.
+
+    Uses a dense MST (O(n^2) memory), appropriate for the testbed sizes;
+    the special city's two cheapest incident edges complete the 1-tree.
+    """
+    n = instance.n
+    if pi is None:
+        pi = np.zeros(n)
+    pi = np.asarray(pi, dtype=np.float64)
+    if pi.shape != (n,):
+        raise ValueError(f"pi must have shape ({n},)")
+    w = _penalized_matrix(instance, pi)
+
+    rest = np.delete(np.arange(n), special)
+    sub = w[np.ix_(rest, rest)]
+    # scipy MST treats 0 as "no edge"; shift weights to be strictly positive.
+    shift = sub.min() - 1.0
+    mst = minimum_spanning_tree(sub - shift).tocoo()
+    tree_edges = np.stack([rest[mst.row], rest[mst.col]], axis=1)
+    tree_weight = float(mst.data.sum() + shift * len(mst.data))
+
+    # Two cheapest edges incident to the special city.
+    ws = w[special].copy()
+    ws[special] = np.inf
+    nearest = np.argpartition(ws, 2)[:2]
+    nearest = nearest[np.argsort(ws[nearest], kind="stable")]
+    e1, e2 = int(nearest[0]), int(nearest[1])
+    special_weight = float(ws[e1] + ws[e2])
+
+    edges = np.vstack([tree_edges, [[special, e1], [special, e2]]]).astype(np.intp)
+    degrees = np.bincount(edges.ravel(), minlength=n)
+    weight = tree_weight + special_weight
+    bound = weight - 2.0 * float(pi.sum())
+    return OneTree(edges=edges, degrees=degrees, weight=weight, bound=bound)

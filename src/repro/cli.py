@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+    python -m repro solve fl300 --nodes 8 --budget 4 --out best.tour
+    python -m repro clk my_instance.tsp --budget 20
+    python -m repro bound fl300
+    python -m repro exact uniform:14:7
+    python -m repro info pcb250
+    python -m repro testbed
+
+INSTANCE arguments resolve, in order, as: a path to a TSPLIB ``.tsp``
+file; a testbed registry name (ours or the paper's); or a generator spec
+``class:n[:seed]`` with class in {uniform, clustered, drilling,
+grid_pcb, country, pla_rows}.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .tsp import generators, registry, tsplib
+
+__all__ = ["main", "resolve_instance"]
+
+_GENERATORS = {
+    "uniform": generators.uniform,
+    "clustered": generators.clustered,
+    "drilling": generators.drilling,
+    "grid_pcb": generators.grid_pcb,
+    "country": generators.country,
+    "pla_rows": generators.pla_rows,
+}
+
+
+def resolve_instance(spec: str):
+    """Resolve an INSTANCE argument (see module docstring)."""
+    path = Path(spec)
+    if path.suffix.lower() in (".tsp", ".txt") or path.exists():
+        return tsplib.load(path)
+    try:
+        return registry.get_instance(spec)
+    except KeyError:
+        pass
+    parts = spec.split(":")
+    if parts[0] in _GENERATORS and len(parts) in (2, 3):
+        n = int(parts[1])
+        seed = int(parts[2]) if len(parts) == 3 else 0
+        return _GENERATORS[parts[0]](n, rng=seed)
+    raise SystemExit(
+        f"error: cannot resolve instance {spec!r} "
+        "(not a file, testbed name, or generator spec 'class:n[:seed]')"
+    )
+
+
+def _cmd_solve(args) -> int:
+    from .core import solve
+
+    inst = resolve_instance(args.instance)
+    target = args.target
+    if target is None and args.use_best_known:
+        target = registry.best_known(inst.name)
+    result = solve(
+        inst,
+        budget_vsec_per_node=args.budget,
+        n_nodes=args.nodes,
+        kick=args.kick,
+        topology=args.topology if args.nodes > 1 else {0: ()},
+        c_v=args.cv,
+        c_r=args.cr,
+        target_length=target,
+        backbone_support=args.backbone,
+        rng=args.seed,
+    )
+    print(f"instance {inst.name} (n={inst.n})")
+    print(f"best tour: {result.best_length} "
+          f"(node {result.best_node} at {result.best_found_at:.2f} vsec)")
+    for node_id in sorted(result.reasons):
+        print(f"  node {node_id}: {result.clocks[node_id]:.2f} vsec, "
+              f"stopped: {result.reasons[node_id]}")
+    print(f"messages: {result.network_stats.messages} "
+          f"({result.network_stats.broadcasts} broadcasts)")
+    if args.out:
+        tsplib.dump_tour(result.best_tour, args.out, name=inst.name)
+        print(f"tour written to {args.out}")
+    if args.save_run:
+        from .analysis.runio import save_run
+
+        save_run(result, args.save_run, instance_name=inst.name)
+        print(f"run saved to {args.save_run}")
+    return 0
+
+
+def _cmd_clk(args) -> int:
+    from .localsearch import chained_lk
+
+    inst = resolve_instance(args.instance)
+    result = chained_lk(
+        inst, budget_vsec=args.budget, kick=args.kick,
+        target_length=args.target, rng=args.seed,
+    )
+    print(f"instance {inst.name} (n={inst.n})")
+    print(f"tour: {result.length} after {result.kicks} kicks "
+          f"({result.improvements} improvements, "
+          f"{result.work_vsec:.2f} vsec)")
+    if args.out:
+        tsplib.dump_tour(result.tour, args.out, name=inst.name)
+        print(f"tour written to {args.out}")
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    from .bounds import held_karp_bound
+
+    inst = resolve_instance(args.instance)
+    res = held_karp_bound(inst, max_iterations=args.iterations)
+    print(f"instance {inst.name} (n={inst.n})")
+    print(f"Held-Karp lower bound: {res.bound:.1f} "
+          f"({res.iterations} ascent iterations)")
+    bk = registry.best_known(inst.name)
+    if bk is not None:
+        print(f"best known: {bk} (gap {100 * (bk / res.bound - 1):.2f}%)")
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    from .bounds import branch_and_bound, held_karp_exact
+
+    inst = resolve_instance(args.instance)
+    print(f"instance {inst.name} (n={inst.n})")
+    if inst.n <= 16:
+        length, order = held_karp_exact(inst)
+        print(f"optimum (Held-Karp DP): {length}")
+    else:
+        res = branch_and_bound(inst, max_nodes=args.max_nodes)
+        status = "proven optimal" if res.proven_optimal else (
+            f"incumbent (search capped at {args.max_nodes} nodes)")
+        print(f"{status}: {res.length} "
+              f"({res.nodes_explored} B&B nodes)")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .tsp.stats import instance_stats
+
+    inst = resolve_instance(args.instance)
+    print(f"instance {inst.name}")
+    print(instance_stats(inst).format())
+    bk = registry.best_known(inst.name)
+    hk = registry.hk_bound(inst.name)
+    if bk is not None:
+        print(f"best known        : {bk}")
+    if hk is not None:
+        print(f"HK bound (cached) : {hk:.1f}")
+    return 0
+
+
+def _cmd_testbed(_args) -> int:
+    print(f"{'name':<10} {'paper':<10} {'n':>5}  {'class':<6} "
+          f"{'best known':>10}  {'HK bound':>10}")
+    for e in registry.testbed():
+        bk = registry.best_known(e.name)
+        hk = registry.hk_bound(e.name)
+        print(f"{e.name:<10} {e.paper_name:<10} {e.n:>5}  "
+              f"{e.size_class:<6} "
+              f"{bk if bk is not None else '-':>10}  "
+              f"{f'{hk:.1f}' if hk is not None else '-':>10}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Chained Lin-Kernighan for the TSP "
+                    "(Fischer & Merz, IPDPS 2005 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="distributed CLK (the paper's algorithm)")
+    p.add_argument("instance")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--budget", type=float, default=4.0,
+                   help="virtual seconds per node")
+    p.add_argument("--kick", default="random_walk",
+                   choices=["random", "geometric", "close", "random_walk"])
+    p.add_argument("--topology", default="hypercube",
+                   choices=["hypercube", "ring", "grid", "complete"])
+    p.add_argument("--cv", type=int, default=64, help="c_v threshold")
+    p.add_argument("--cr", type=int, default=256, help="c_r threshold")
+    p.add_argument("--backbone", type=float, default=0.0,
+                   help="backbone support fraction (0 disables)")
+    p.add_argument("--target", type=int, default=None)
+    p.add_argument("--use-best-known", action="store_true",
+                   help="use the registry best-known as the target")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write .tour file")
+    p.add_argument("--save-run", default=None, help="save run JSON")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("clk", help="sequential Chained LK (ABCC baseline)")
+    p.add_argument("instance")
+    p.add_argument("--budget", type=float, default=10.0)
+    p.add_argument("--kick", default="random_walk",
+                   choices=["random", "geometric", "close", "random_walk"])
+    p.add_argument("--target", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=_cmd_clk)
+
+    p = sub.add_parser("bound", help="Held-Karp lower bound")
+    p.add_argument("instance")
+    p.add_argument("--iterations", type=int, default=200)
+    p.set_defaults(func=_cmd_bound)
+
+    p = sub.add_parser("exact", help="exact solve (DP or branch-and-bound)")
+    p.add_argument("instance")
+    p.add_argument("--max-nodes", type=int, default=100_000)
+    p.set_defaults(func=_cmd_exact)
+
+    p = sub.add_parser("info", help="instance statistics")
+    p.add_argument("instance")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("testbed", help="list the paper-analogue testbed")
+    p.set_defaults(func=_cmd_testbed)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point (also exposed as ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Greedy edge-matching tour construction.
+
+Sorts candidate edges by weight and adds each edge whose endpoints both
+have spare degree and which does not close a subtour.  Candidates come
+from the k-NN lists; leftover cities (when the candidate graph cannot
+complete the tour) are joined by a full scan over path endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tsp.tour import Tour
+from .quick_boruvka import _UnionFind, _tour_from_adjacency
+
+__all__ = ["greedy_edge"]
+
+
+def greedy_edge(instance, neighbor_k: int = 12) -> Tour:
+    """Greedy matching on the k-NN candidate edge set."""
+    n = instance.n
+    neighbors = instance.neighbor_lists(min(neighbor_k, n - 1))
+
+    # Build the unique candidate edge list with weights, vectorized.
+    src = np.repeat(np.arange(n, dtype=np.int64), neighbors.shape[1])
+    dst = neighbors.ravel().astype(np.int64)
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    key = lo * n + hi
+    _, first = np.unique(key, return_index=True)
+    lo, hi = lo[first], hi[first]
+    w = np.empty(len(lo), dtype=np.int64)
+    # Group by lo for vectorized distance rows.
+    sort_by_lo = np.argsort(lo, kind="stable")
+    lo, hi = lo[sort_by_lo], hi[sort_by_lo]
+    starts = np.searchsorted(lo, np.arange(n))
+    ends = np.searchsorted(lo, np.arange(n) + 1)
+    for i in range(n):
+        s, e = starts[i], ends[i]
+        if s < e:
+            w[s:e] = instance.dist_many(i, hi[s:e])
+
+    deg = np.zeros(n, dtype=np.int8)
+    adj: list[list[int]] = [[] for _ in range(n)]
+    uf = _UnionFind(n)
+    edges_added = 0
+
+    for idx in np.lexsort((hi, lo, w)):
+        if edges_added == n - 1:
+            break
+        a, b = int(lo[idx]), int(hi[idx])
+        if deg[a] >= 2 or deg[b] >= 2 or uf.find(a) == uf.find(b):
+            continue
+        adj[a].append(b)
+        adj[b].append(a)
+        deg[a] += 1
+        deg[b] += 1
+        uf.union(a, b)
+        edges_added += 1
+
+    # Join remaining path fragments end-to-end, cheapest first.
+    while edges_added < n - 1:
+        ends_ = np.flatnonzero(deg < 2)
+        best = None
+        for a in ends_:
+            cand = ends_[(ends_ != a)]
+            cand = cand[[uf.find(int(a)) != uf.find(int(c)) for c in cand]]
+            if cand.size == 0:
+                continue
+            d = instance.dist_many(int(a), cand)
+            j = int(np.argmin(d))
+            if best is None or d[j] < best[0]:
+                best = (int(d[j]), int(a), int(cand[j]))
+        if best is None:  # pragma: no cover - defensive
+            raise RuntimeError("greedy_edge could not complete the tour")
+        _, a, b = best
+        adj[a].append(b)
+        adj[b].append(a)
+        deg[a] += 1
+        deg[b] += 1
+        uf.union(a, b)
+        edges_added += 1
+
+    # Close the Hamiltonian path into a cycle.
+    a, b = (int(x) for x in np.flatnonzero(deg < 2))
+    adj[a].append(b)
+    adj[b].append(a)
+    return _tour_from_adjacency(instance, adj)

@@ -1,0 +1,45 @@
+"""Nearest-neighbour tour construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tsp.tour import Tour
+from ..utils.rng import ensure_rng
+
+__all__ = ["nearest_neighbor"]
+
+
+def nearest_neighbor(instance, start: int | None = None, rng=None,
+                     neighbor_k: int = 16) -> Tour:
+    """Greedy nearest-neighbour tour from ``start`` (random if omitted).
+
+    Scans the candidate list first and falls back to a vectorized scan over
+    all unvisited cities when every candidate is already visited.
+    """
+    n = instance.n
+    rng = ensure_rng(rng)
+    if start is None:
+        start = int(rng.integers(n))
+    if not (0 <= start < n):
+        raise ValueError(f"start city {start} out of range [0, {n})")
+    neighbors = instance.neighbor_lists(min(neighbor_k, n - 1))
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.intp)
+    order[0] = start
+    visited[start] = True
+    cur = start
+    for k in range(1, n):
+        nxt = -1
+        for j in neighbors[cur]:
+            if not visited[j]:
+                nxt = int(j)
+                break
+        if nxt < 0:
+            cand = np.flatnonzero(~visited)
+            d = instance.dist_many(cur, cand)
+            nxt = int(cand[np.argmin(d)])
+        order[k] = nxt
+        visited[nxt] = True
+        cur = nxt
+    return Tour(instance, order)

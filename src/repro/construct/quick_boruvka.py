@@ -1,0 +1,135 @@
+"""Quick-Borůvka tour construction (Applegate, Cook & Rohe).
+
+This is the construction heuristic the paper's CLK engine uses: cities are
+processed in coordinate order; each city that does not yet have two tour
+edges gets its cheapest *valid* incident edge — one that does not close a
+subtour prematurely and whose endpoint still has spare degree.  The
+original needs at most two sweeps; we sweep until the tour closes, falling
+back to a full scan when a city's candidate list is exhausted (rare).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tsp.tour import Tour
+from ..utils.rng import ensure_rng
+
+__all__ = ["quick_boruvka"]
+
+
+class _UnionFind:
+    __slots__ = ("parent", "rank")
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+
+def _tour_from_adjacency(instance, adj: list[list[int]]) -> Tour:
+    n = instance.n
+    order = np.empty(n, dtype=np.intp)
+    order[0] = 0
+    prev, cur = -1, 0
+    for k in range(1, n):
+        a, b = adj[cur]
+        nxt = b if a == prev else a
+        order[k] = nxt
+        prev, cur = cur, nxt
+    return Tour(instance, order)
+
+
+def quick_boruvka(instance, neighbor_k: int = 12, rng=None) -> Tour:
+    """Construct a tour with the Quick-Borůvka heuristic.
+
+    Parameters
+    ----------
+    instance:
+        TSP instance.
+    neighbor_k:
+        Size of the per-city candidate list scanned before falling back to
+        a full scan.
+    rng:
+        Only used to break ties in the processing order of non-geometric
+        instances; geometric instances use coordinate order as in the
+        original algorithm.
+    """
+    n = instance.n
+    neighbors = instance.neighbor_lists(min(neighbor_k, n - 1))
+    deg = np.zeros(n, dtype=np.int8)
+    adj: list[list[int]] = [[] for _ in range(n)]
+    uf = _UnionFind(n)
+    edges_added = 0
+
+    if instance.coords is not None:
+        proc_order = np.lexsort((instance.coords[:, 1], instance.coords[:, 0]))
+    else:
+        proc_order = ensure_rng(rng).permutation(n)
+
+    def valid(i: int, j: int) -> bool:
+        if deg[j] >= 2 or i == j:
+            return False
+        if uf.find(i) == uf.find(j):
+            # Only allowed for the final edge, which closes the tour.
+            return edges_added == n - 1
+        return True
+
+    def add_edge(i: int, j: int) -> None:
+        nonlocal edges_added
+        adj[i].append(j)
+        adj[j].append(i)
+        deg[i] += 1
+        deg[j] += 1
+        uf.union(i, j)
+        edges_added += 1
+
+    def cheapest_valid(i: int) -> int:
+        for j in neighbors[i]:
+            if valid(i, int(j)):
+                return int(j)
+        # Fallback: full scan over cities with spare degree.
+        cand = np.flatnonzero(deg < 2)
+        cand = cand[cand != i]
+        if cand.size == 0:
+            return -1
+        d = instance.dist_many(i, cand)
+        for idx in np.argsort(d, kind="stable"):
+            j = int(cand[idx])
+            if valid(i, j):
+                return j
+        return -1
+
+    sweeps = 0
+    while edges_added < n and sweeps < n:
+        sweeps += 1
+        progress = False
+        for i in proc_order:
+            while deg[i] < 2 and edges_added < n:
+                j = cheapest_valid(int(i))
+                if j < 0:
+                    break
+                add_edge(int(i), j)
+                progress = True
+        if not progress:  # pragma: no cover - defensive
+            raise RuntimeError("quick_boruvka failed to make progress")
+
+    return _tour_from_adjacency(instance, adj)

@@ -1,0 +1,63 @@
+"""Space-filling-curve tour construction (Hilbert order).
+
+Visiting cities in the order of their Hilbert-curve index gives an O(n log
+n) tour within a constant factor of optimal for uniform points — a useful
+cheap initializer and a baseline for construction-quality tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tsp.tour import Tour
+
+__all__ = ["space_filling", "hilbert_index"]
+
+
+def hilbert_index(xs: np.ndarray, ys: np.ndarray, order: int = 16) -> np.ndarray:
+    """Hilbert-curve index of integer grid points ``(xs, ys)``.
+
+    ``order`` is the curve level: coordinates must lie in ``[0, 2**order)``.
+    Vectorized over the input arrays (standard d2xy bit-twiddling).
+    """
+    xs = np.asarray(xs, dtype=np.int64).copy()
+    ys = np.asarray(ys, dtype=np.int64).copy()
+    side = np.int64(1) << order
+    if np.any((xs < 0) | (xs >= side) | (ys < 0) | (ys >= side)):
+        raise ValueError(f"coordinates out of range for order {order}")
+    rx = np.zeros_like(xs)
+    ry = np.zeros_like(ys)
+    d = np.zeros_like(xs)
+    s = side >> 1
+    while s > 0:
+        rx = ((xs & s) > 0).astype(np.int64)
+        ry = ((ys & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate quadrant.
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        xs_f = np.where(flip, s - 1 - xs, xs)
+        ys_f = np.where(flip, s - 1 - ys, ys)
+        xs_new = np.where(swap, ys_f, xs_f)
+        ys_new = np.where(swap, xs_f, ys_f)
+        xs, ys = xs_new, ys_new
+        s >>= 1
+    return d
+
+
+def space_filling(instance, order: int = 16) -> Tour:
+    """Tour visiting cities in Hilbert-curve order.
+
+    Requires a geometric instance; coordinates are scaled onto the curve's
+    integer grid.
+    """
+    if instance.coords is None:
+        raise ValueError("space_filling requires coordinates")
+    c = instance.coords
+    lo = c.min(axis=0)
+    span = max(float((c.max(axis=0) - lo).max()), 1e-12)
+    side = (1 << order) - 1
+    grid = np.floor((c - lo) / span * side).astype(np.int64)
+    idx = hilbert_index(grid[:, 0], grid[:, 1], order)
+    # Stable tie-break by city id keeps the result deterministic.
+    return Tour(instance, np.argsort(idx, kind="stable"))

@@ -1,0 +1,17 @@
+"""The paper's contribution: the distributed CLK evolutionary algorithm."""
+
+from .driver import ReplicateSummary, replicate, solve
+from .events import Event, EventKind, EventLog
+from .node import EANode, NodeConfig, SelectOutcome
+
+__all__ = [
+    "solve",
+    "replicate",
+    "ReplicateSummary",
+    "EANode",
+    "NodeConfig",
+    "SelectOutcome",
+    "Event",
+    "EventKind",
+    "EventLog",
+]

@@ -1,0 +1,130 @@
+"""High-level entry points for the distributed Chained Lin-Kernighan.
+
+:func:`solve` is the public one-call API ("give me a good tour of this
+instance using N cooperating CLK workers"); :func:`replicate` runs the
+paper's repeated-runs protocol (10 runs per configuration) and aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..distributed.network import LatencyModel
+from ..distributed.simulator import SimulationResult, run_simulation
+from ..localsearch.lin_kernighan import LKConfig
+from ..utils.rng import ensure_rng, spawn_rngs
+from .node import NodeConfig
+
+__all__ = ["solve", "replicate", "ReplicateSummary"]
+
+
+def solve(
+    instance,
+    budget_vsec_per_node: float,
+    n_nodes: int = 8,
+    kick: str = "random_walk",
+    c_v: int = 64,
+    c_r: int = 256,
+    inner_kicks: int = 5,
+    topology: str | dict = "hypercube",
+    target_length: Optional[int] = None,
+    lk_config: LKConfig | None = None,
+    latency: LatencyModel | None = None,
+    backbone_support: float = 0.0,
+    free_init: bool = False,
+    churn=None,
+    dissemination: str = "broadcast",
+    gossip_fanout: int = 3,
+    rng=None,
+) -> SimulationResult:
+    """Solve a TSP instance with the distributed CLK algorithm.
+
+    Parameters default to the paper's setup: 8 nodes, hypercube topology,
+    Random-walk kicks, ``c_v = 64``, ``c_r = 256``.  ``target_length``
+    (the known optimum, when available) is an additional termination
+    criterion, as in the paper's protocol.  ``backbone_support > 0``
+    enables the partial-reduction extension (see
+    :mod:`repro.core.backbone`).
+    """
+    config = NodeConfig(
+        kick=kick,
+        c_v=c_v,
+        c_r=c_r,
+        inner_kicks=inner_kicks,
+        lk_config=lk_config or LKConfig(),
+        target_length=target_length,
+        backbone_support=backbone_support,
+        free_init=free_init,
+    )
+    return run_simulation(
+        instance,
+        budget_vsec_per_node,
+        n_nodes=n_nodes,
+        node_config=config,
+        topology=topology,
+        latency=latency,
+        churn=churn,
+        dissemination=dissemination,
+        gossip_fanout=gossip_fanout,
+        rng=rng,
+    )
+
+
+@dataclass
+class ReplicateSummary:
+    """Aggregate of repeated runs (the paper reports 10-run averages)."""
+
+    results: list
+    target_length: Optional[int]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+    @property
+    def successes(self) -> int:
+        """Runs that reached the target (paper Table 3 counts)."""
+        return sum(1 for r in self.results if r.hit_target())
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.array([r.best_length for r in self.results])
+
+    @property
+    def mean_length(self) -> float:
+        return float(self.lengths.mean())
+
+    @property
+    def best_length(self) -> int:
+        return int(self.lengths.min())
+
+    def mean_excess(self, reference: float) -> float:
+        """Average % above a reference length (optimum or HK bound)."""
+        return float(np.mean(self.lengths / reference - 1.0)) * 100.0
+
+    def mean_time_to_quality(self, length: int) -> Optional[float]:
+        """Average per-node vsec to reach a length, over runs that did."""
+        times = [r.time_to_quality(length) for r in self.results]
+        times = [t for t in times if t is not None]
+        return float(np.mean(times)) if times else None
+
+
+def replicate(
+    instance,
+    budget_vsec_per_node: float,
+    n_runs: int = 10,
+    rng=None,
+    **solve_kwargs,
+) -> ReplicateSummary:
+    """Run :func:`solve` ``n_runs`` times with independent seeds."""
+    rngs = spawn_rngs(ensure_rng(rng), n_runs)
+    results = [
+        solve(instance, budget_vsec_per_node, rng=r, **solve_kwargs)
+        for r in rngs
+    ]
+    return ReplicateSummary(
+        results=results, target_length=solve_kwargs.get("target_length")
+    )

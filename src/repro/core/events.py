@@ -1,0 +1,68 @@
+"""Per-node event logs.
+
+The paper's §4.2.1 case study narrates runs through events: improvements
+found, tours received, perturbation strength (``NumPerturbations``)
+increases, restarts.  Every node records exactly those events with its
+virtual timestamp; the analysis layer and the case-study bench read them
+back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Node life-cycle events."""
+
+    INITIAL_TOUR = "initial_tour"
+    LOCAL_IMPROVEMENT = "local_improvement"
+    RECEIVED_IMPROVEMENT = "received_improvement"
+    BROADCAST = "broadcast"
+    PERTURBATION_STRENGTH = "perturbation_strength"
+    RESTART = "restart"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped node event; ``value`` depends on the kind:
+
+    tour length for improvements/broadcasts, ``NumPerturbations`` for
+    strength changes, the termination reason string for DONE."""
+
+    vsec: float
+    kind: EventKind
+    value: object = None
+
+
+class EventLog:
+    """Append-only event list for one node."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.events: list[Event] = []
+
+    def record(self, vsec: float, kind: EventKind, value=None) -> None:
+        self.events.append(Event(vsec, kind, value))
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def improvements(self) -> list[tuple[float, int]]:
+        """(vsec, length) for every event that changed the node's best."""
+        kinds = (
+            EventKind.INITIAL_TOUR,
+            EventKind.LOCAL_IMPROVEMENT,
+            EventKind.RECEIVED_IMPROVEMENT,
+        )
+        return [(e.vsec, int(e.value)) for e in self.events if e.kind in kinds]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,283 @@
+"""The distributed EA node (paper Figure 1).
+
+Each node runs the loop::
+
+    s_prev := INITIALTOUR
+    s_best := CHAINEDLINKERNIGHAN(s_prev)
+    while not TERMINATIONDETECTED:
+        s          := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
+        S_received := ALLRECEIVEDTOURS
+        s_best     := SELECTBESTTOUR(S_received + {s} + {s_prev})
+        if LENGTH(s_best) == LENGTH(s_prev): NumNoImprovements += 1
+        elif s_best == s:                    BROADCASTTONEIGHBORS(s_best)
+        s_prev := s_best
+
+with the variable-strength perturbation::
+
+    PERTURBATE(s):
+        if NumNoImprovements > c_r: reset counters; return INITIALTOUR
+        NumPerturbations := NumNoImprovements // c_v + 1
+        return VARIATETOUR(s, NumPerturbations)   # that many double bridges
+
+The node is transport-agnostic: the simulator (or the multiprocessing
+backend) calls :meth:`compute` (perturb + CLK, consuming work) and then
+:meth:`select` with whatever messages arrived meanwhile — exactly the
+paper's asynchronous semantics, where tours received *during* the local
+CLK call take part in the selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..localsearch.chained_lk import ChainedLK
+from ..localsearch.kicks import apply_double_bridge
+from ..localsearch.lin_kernighan import LKConfig
+from ..tsp.tour import Tour
+from ..utils.rng import ensure_rng
+from ..utils.work import OPS_PER_VSEC as _OPS_PER_VSEC, WorkMeter
+from ..distributed.message import Message, MessageKind
+from .backbone import ElitePool
+from .events import EventKind, EventLog
+
+__all__ = ["NodeConfig", "SelectOutcome", "EANode"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Per-node algorithm parameters (paper defaults)."""
+
+    #: Kick strategy for the inner CLK and the EA perturbation.
+    kick: str = "random_walk"
+    #: Perturbation-strength divisor: NumPerturbations = nni // c_v + 1.
+    c_v: int = 64
+    #: Restart threshold: nni > c_r discards the tour and restarts.
+    c_r: int = 256
+    #: Kicks per inner CLK call (linkern invocation granularity).
+    inner_kicks: int = 5
+    #: LK engine settings.
+    lk_config: LKConfig = field(default_factory=LKConfig)
+    #: Known optimum (termination criterion 1); None disables.
+    target_length: Optional[int] = None
+    #: Backbone extension (Bachem & Wottawa partial reduction): fraction
+    #: of the node's elite pool an edge must appear in to be protected
+    #: from LK.  0.0 (default) disables the extension.
+    backbone_support: float = 0.0
+    #: Elite-pool capacity for the backbone computation.
+    elite_capacity: int = 6
+    #: Leave the one-time bootstrap (construction + first LK pass)
+    #: uncharged on the node clock.  Negligible at the paper's scale,
+    #: ~25% of a node budget at bench scale (DESIGN.md §2); restarts are
+    #: always charged.
+    free_init: bool = False
+
+    def with_target(self, target: Optional[int]) -> "NodeConfig":
+        return replace(self, target_length=target)
+
+
+@dataclass(frozen=True)
+class SelectOutcome:
+    """Result of one selection step."""
+
+    best_length: int
+    improved: bool
+    #: Tour to broadcast (the local CLK result became the new best).
+    broadcast: Optional[Tour] = None
+    #: Target reached locally or via notification.
+    done_reason: Optional[str] = None
+
+
+class EANode:
+    """One node of the distributed algorithm."""
+
+    def __init__(self, node_id: int, instance, config: NodeConfig, rng=None):
+        self.node_id = node_id
+        self.instance = instance
+        self.config = config
+        self.rng = ensure_rng(rng)
+        self.clk = ChainedLK(
+            instance, kick=config.kick, lk_config=config.lk_config, rng=self.rng
+        )
+        self.clock = 0.0  # virtual seconds of CPU consumed
+        self.s_prev: Optional[Tour] = None
+        self.s_best: Optional[Tour] = None
+        self.num_no_improvements = 0
+        self._last_strength = 1
+        self.events = EventLog(node_id)
+        self.done_reason: Optional[str] = None
+        self._elite = (
+            ElitePool(config.elite_capacity)
+            if config.backbone_support > 0.0
+            else None
+        )
+
+    # -- state queries --------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.done_reason is not None
+
+    @property
+    def best_length(self) -> Optional[int]:
+        return self.s_best.length if self.s_best is not None else None
+
+    # -- Figure 1: compute phase ----------------------------------------------
+
+    def compute(self, budget_vsec: float) -> tuple[float, Tour]:
+        """Perturb + CLK: produce the candidate tour ``s``.
+
+        Consumes at most ``budget_vsec`` of work (checked at move
+        boundaries); returns ``(work_consumed_vsec, candidate)``.  The
+        node's clock is advanced by the caller.
+        """
+        meter = WorkMeter.with_vsec_budget(max(budget_vsec, 1e-9))
+        base_ops = 0.0
+        if self.s_best is None:
+            # s_prev := INITIALTOUR; s := CLK(s_prev)
+            if self.config.free_init:
+                meter.budget_ops = None  # bootstrap always completes
+            tour = self.clk.initial_tour(meter)
+            if self.config.free_init:
+                base_ops = meter.ops
+                meter.budget_ops = (
+                    base_ops + max(budget_vsec, 1e-9) * _OPS_PER_VSEC
+                )
+            self.s_prev = tour.copy()
+            cand = self._clk_call(tour, dirty=None, meter=meter)
+        else:
+            tour, dirty = self._perturbate(meter)
+            cand = self._clk_call(tour, dirty=dirty, meter=meter)
+        return (meter.ops - base_ops) / _OPS_PER_VSEC, cand
+
+    def _perturbate(self, meter: WorkMeter) -> tuple[Tour, Optional[set]]:
+        """PERTURBATE(s_best): variable-strength DBMs or a restart."""
+        cfg = self.config
+        if self.num_no_improvements > cfg.c_r:
+            self.num_no_improvements = 0
+            self._last_strength = 1
+            self.events.record(self.clock, EventKind.RESTART)
+            tour = self.clk.initial_tour(meter)
+            return tour, None
+        strength = self.num_no_improvements // cfg.c_v + 1
+        if strength != self._last_strength:
+            self._last_strength = strength
+            self.events.record(
+                self.clock, EventKind.PERTURBATION_STRENGTH, strength
+            )
+        tour = self.s_best.copy()
+        dirty: set[int] = set()
+        for _ in range(strength):
+            positions = self.clk._kick_fn(tour, self.rng)
+            dirty.update(apply_double_bridge(tour, positions))
+            meter.tick(tour.n // 8 + 8)
+        return tour, dirty
+
+    def _backbone(self) -> Optional[set]:
+        """Current fixed-edge backbone, when the extension is enabled."""
+        if self._elite is None or len(self._elite) < 3:
+            return None
+        edges = self._elite.backbone(self.config.backbone_support)
+        return edges or None
+
+    def _clk_call(self, tour: Tour, dirty, meter: WorkMeter) -> Tour:
+        """One 'linkern' invocation: LK pass then ``inner_kicks`` chained kicks."""
+        fixed = self._backbone()
+        self.clk.lk.optimize(tour, meter, dirty=dirty, fixed=fixed)
+        best = tour
+        target = self.config.target_length
+        for _ in range(self.config.inner_kicks):
+            if meter.exhausted():
+                break
+            if target is not None and best.length <= target:
+                break
+            cand = self.clk.step(best, meter, fixed=fixed)
+            if cand.length <= best.length:
+                best = cand
+        return best
+
+    # -- Figure 1: selection phase ----------------------------------------------
+
+    def select(self, candidate: Tour, messages: list[Message]) -> SelectOutcome:
+        """SELECTBESTTOUR over {received} + {candidate} + {s_prev}.
+
+        Updates counters per the pseudocode; returns what the transport
+        layer must do (broadcast / terminate).
+        """
+        notified = any(m.kind is MessageKind.OPTIMUM_FOUND for m in messages)
+        received: list[Tour] = []
+        for m in messages:
+            if m.kind is MessageKind.TOUR and m.order is not None:
+                received.append(Tour(self.instance, m.order, m.length))
+        if self._elite is not None:
+            self._elite.add(candidate)
+            for t in received:
+                self._elite.add(t)
+
+        if self.s_best is None:
+            # First iteration: s_best := CLK(s_prev); candidate plays s_best.
+            self.s_best = candidate
+            self.s_prev = candidate
+            self.events.record(
+                self.clock, EventKind.INITIAL_TOUR, candidate.length
+            )
+            out_broadcast = candidate
+            improved = True
+        else:
+            # linkern-style acceptance: the local candidate is adopted on
+            # ties too (plateau drift matters on fl-class instances),
+            # but a tie still counts as "no improvement" and is not
+            # broadcast.  Received tours are adopted only when strictly
+            # better (avoids equal-length broadcast ping-pong).
+            best = self.s_prev
+            from_local = False
+            if candidate.length <= best.length:
+                best = candidate
+                from_local = True
+            for t in received:
+                if t.length < best.length:
+                    best = t
+                    from_local = False
+            improved = best.length < self.s_prev.length
+            if not improved:
+                self.num_no_improvements += 1
+                out_broadcast = None
+            else:
+                self.num_no_improvements = 0
+                self._last_strength = 1
+                kind = (
+                    EventKind.LOCAL_IMPROVEMENT
+                    if from_local
+                    else EventKind.RECEIVED_IMPROVEMENT
+                )
+                self.events.record(self.clock, kind, best.length)
+                out_broadcast = best if from_local else None
+            self.s_best = best
+            self.s_prev = best
+
+        if out_broadcast is not None:
+            self.events.record(self.clock, EventKind.BROADCAST, out_broadcast.length)
+
+        done_reason = None
+        target = self.config.target_length
+        if target is not None and self.s_best.length <= target:
+            done_reason = "optimum"
+        elif notified:
+            done_reason = "notified"
+        if done_reason:
+            self._finish(done_reason)
+        return SelectOutcome(
+            best_length=self.s_best.length,
+            improved=improved,
+            broadcast=out_broadcast,
+            done_reason=done_reason,
+        )
+
+    def _finish(self, reason: str) -> None:
+        if self.done_reason is None:
+            self.done_reason = reason
+            self.events.record(self.clock, EventKind.DONE, reason)
+
+    def stop(self, reason: str) -> None:
+        """External termination (budget exhausted, simulation end)."""
+        self._finish(reason)

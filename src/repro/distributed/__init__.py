@@ -1,0 +1,23 @@
+"""Network substrate: messages, topologies, hub, simulator, MP backend."""
+
+from .hub import BootstrapNode, Hub
+from .message import Message, MessageKind, tour_payload
+from .network import LatencyModel, NetworkStats, SimulatedNetwork
+from .simulator import SimulationResult, Simulator, run_simulation
+from .topology import get_topology, validate_topology
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "tour_payload",
+    "LatencyModel",
+    "NetworkStats",
+    "SimulatedNetwork",
+    "Hub",
+    "BootstrapNode",
+    "get_topology",
+    "validate_topology",
+    "Simulator",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,91 @@
+"""Bootstrap hub (paper §2.2).
+
+The hub is the single central component of the paper's system and is used
+*only* during initialization: joining nodes contact it, receive a position
+in the hypercube and a neighbour list built from the nodes the hub already
+knows.  Because early joiners get sparse lists, the protocol's second half
+has each node contact its listed neighbours, and a contacted node adds the
+contacter to its own list — after every node has joined, the union of
+links is the full (incomplete) hypercube.
+
+This module reproduces that handshake faithfully (it is what the
+``examples/bootstrap_protocol.py`` walk-through shows), and its
+:meth:`Hub.final_topology` output is exactly
+:func:`repro.distributed.topology.hypercube`, which the simulator uses
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Hub", "BootstrapNode"]
+
+
+@dataclass
+class BootstrapNode:
+    """Client-side bootstrap state of one node."""
+
+    node_id: int
+    position: int = -1
+    neighbors: set = field(default_factory=set)
+
+    def contact(self, other: "BootstrapNode") -> None:
+        """TCP-style contact: the contacted node learns the contacter."""
+        other.neighbors.add(self.position)
+
+
+class Hub:
+    """The bootstrap hub: assigns hypercube positions and neighbour lists."""
+
+    def __init__(self, dimension: int):
+        if dimension < 1:
+            raise ValueError("dimension must be >= 1")
+        self.dimension = dimension
+        self.capacity = 1 << dimension
+        self._assigned: dict[int, BootstrapNode] = {}  # position -> node
+
+    def register(self, node: BootstrapNode) -> list[int]:
+        """Register a node: assign the next free position, return the
+        neighbour positions *already known to the hub* (possibly sparse)."""
+        if len(self._assigned) >= self.capacity:
+            raise RuntimeError("hypercube is full")
+        position = len(self._assigned)
+        node.position = position
+        self._assigned[position] = node
+        known = []
+        for b in range(self.dimension):
+            neigh = position ^ (1 << b)
+            if neigh in self._assigned:
+                known.append(neigh)
+        node.neighbors.update(known)
+        return known
+
+    def run_contact_round(self) -> None:
+        """Each node contacts its currently listed neighbours (protocol's
+        second half); contacted nodes learn about the contacter."""
+        for node in list(self._assigned.values()):
+            for pos in sorted(node.neighbors):
+                other = self._assigned.get(pos)
+                if other is not None:
+                    node.contact(other)
+
+    def final_topology(self) -> dict[int, tuple[int, ...]]:
+        """Neighbour map after bootstrap (positions as node ids)."""
+        return {
+            pos: tuple(sorted(n.neighbors))
+            for pos, n in sorted(self._assigned.items())
+        }
+
+    @classmethod
+    def bootstrap(cls, n_nodes: int) -> dict[int, tuple[int, ...]]:
+        """Run the full protocol for ``n_nodes`` joining sequentially."""
+        dim = max(1, int(np.ceil(np.log2(max(n_nodes, 2)))))
+        hub = cls(dim)
+        nodes = [BootstrapNode(i) for i in range(n_nodes)]
+        for node in nodes:
+            hub.register(node)
+        hub.run_contact_round()
+        return hub.final_topology()

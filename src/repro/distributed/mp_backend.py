@@ -1,0 +1,203 @@
+"""Real-parallel backend: one OS process per node.
+
+The discrete-event simulator is the reference implementation (it is
+deterministic and reproduces the paper's CPU-time accounting); this
+backend runs the *same* :class:`~repro.core.node.EANode` logic with real
+processes, wall-clock budgets and OS pipes, demonstrating that the
+algorithm is transport-agnostic.  Results are not bit-reproducible across
+machines (that is the point), so tests only assert invariants.
+
+Message passing follows the mpi4py idiom for Python objects: each node
+owns an inbox queue; ``send`` is a put into the neighbour's queue; tours
+travel as plain ``(order, length)`` payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.node import EANode, NodeConfig
+from ..tsp.instance import TSPInstance
+from ..tsp.tour import Tour
+from .topology import get_topology
+
+__all__ = ["MPResult", "run_multiprocessing"]
+
+
+@dataclass
+class MPResult:
+    """Outcome of a multiprocessing run."""
+
+    best_order: np.ndarray
+    best_length: int
+    best_node: int
+    node_lengths: dict
+    reasons: dict
+    elapsed_seconds: float
+
+    def tour(self, instance) -> Tour:
+        return Tour(instance, self.best_order, self.best_length)
+
+
+def _instance_payload(instance: TSPInstance) -> dict:
+    if instance.edge_weight_type == "EXPLICIT":
+        return {
+            "matrix": np.asarray(instance.matrix),
+            "edge_weight_type": "EXPLICIT",
+            "name": instance.name,
+        }
+    return {
+        "coords": np.asarray(instance.coords),
+        "edge_weight_type": instance.edge_weight_type,
+        "name": instance.name,
+    }
+
+
+def _rebuild_instance(payload: dict) -> TSPInstance:
+    return TSPInstance(**payload)
+
+
+def _node_worker(
+    node_id: int,
+    payload: dict,
+    config: NodeConfig,
+    neighbor_ids: tuple,
+    inboxes: dict,
+    result_queue,
+    budget_seconds: float,
+    seed: int,
+) -> None:
+    instance = _rebuild_instance(payload)
+    node = EANode(node_id, instance, config, rng=seed)
+    my_inbox = inboxes[node_id]
+    deadline = time.monotonic() + budget_seconds
+
+    def drain() -> list:
+        out = []
+        while True:
+            try:
+                out.append(my_inbox.get_nowait())
+            except queue_mod.Empty:
+                return out
+
+    def broadcast(kind: str, order, length: int) -> None:
+        for dst in neighbor_ids:
+            try:
+                inboxes[dst].put_nowait((kind, node_id, order, length))
+            except queue_mod.Full:  # pragma: no cover - bounded queues
+                pass
+
+    reason = "budget"
+    while time.monotonic() < deadline:
+        _work, candidate = node.compute(budget_vsec=1e18)
+        raw = drain()
+        messages = _as_messages(raw)
+        outcome = node.select(candidate, messages)
+        if outcome.broadcast is not None:
+            broadcast("tour", np.asarray(outcome.broadcast.order, dtype=np.int32),
+                      outcome.broadcast.length)
+        if outcome.done_reason is not None:
+            reason = outcome.done_reason
+            broadcast("optimum_found",
+                      np.asarray(node.s_best.order, dtype=np.int32),
+                      node.s_best.length)
+            break
+    result_queue.put(
+        (
+            node_id,
+            np.asarray(node.s_best.order, dtype=np.int32),
+            int(node.s_best.length),
+            reason,
+        )
+    )
+
+
+def _as_messages(raw: list):
+    from .message import Message, MessageKind
+
+    out = []
+    for kind, sender, order, length in raw:
+        out.append(
+            Message(
+                kind=MessageKind.TOUR if kind == "tour"
+                else MessageKind.OPTIMUM_FOUND,
+                sender=sender,
+                length=int(length),
+                order=np.asarray(order),
+            )
+        )
+    return out
+
+
+def run_multiprocessing(
+    instance,
+    budget_seconds: float,
+    n_nodes: int = 8,
+    node_config: NodeConfig | None = None,
+    topology: str | dict = "hypercube",
+    rng=None,
+) -> MPResult:
+    """Run the distributed algorithm with real processes.
+
+    ``budget_seconds`` is wall-clock per node.  Worker seeds derive from
+    ``rng`` so runs are repeatable up to OS scheduling effects on message
+    arrival order.
+    """
+    config = node_config or NodeConfig()
+    if isinstance(topology, str):
+        topology = get_topology(topology, n_nodes)
+    seeds = np.random.default_rng(
+        rng if not isinstance(rng, np.random.Generator) else rng.integers(2**31)
+    ).integers(0, 2**31 - 1, size=n_nodes)
+
+    ctx = mp.get_context("spawn")
+    manager = ctx.Manager()
+    inboxes = {i: manager.Queue(maxsize=1024) for i in range(n_nodes)}
+    result_queue = manager.Queue()
+    payload = _instance_payload(instance)
+
+    t0 = time.monotonic()
+    procs = []
+    for i in range(n_nodes):
+        p = ctx.Process(
+            target=_node_worker,
+            args=(
+                i, payload, config, topology[i], inboxes, result_queue,
+                budget_seconds, int(seeds[i]),
+            ),
+        )
+        p.start()
+        procs.append(p)
+
+    results = {}
+    # Nodes always report within budget + one iteration; allow slack.
+    deadline = time.monotonic() + budget_seconds * 3 + 60
+    while len(results) < n_nodes and time.monotonic() < deadline:
+        try:
+            node_id, order, length, reason = result_queue.get(timeout=1.0)
+            results[node_id] = (order, length, reason)
+        except queue_mod.Empty:
+            continue
+    for p in procs:
+        p.join(timeout=10)
+        if p.is_alive():  # pragma: no cover - defensive
+            p.terminate()
+    elapsed = time.monotonic() - t0
+
+    if not results:
+        raise RuntimeError("no node reported a result")
+    best_node = min(results, key=lambda i: (results[i][1], i))
+    order, length, _ = results[best_node]
+    return MPResult(
+        best_order=np.asarray(order, dtype=np.intp),
+        best_length=int(length),
+        best_node=best_node,
+        node_lengths={i: results[i][1] for i in results},
+        reasons={i: results[i][2] for i in results},
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,253 @@
+"""Discrete-event simulator for the distributed algorithm.
+
+Replaces the paper's 8-machine cluster with a deterministic virtual-time
+simulation (see DESIGN.md §2).  Every node owns a virtual CPU clock in
+"virtual seconds" (vsec) advanced by the work its CLK calls actually
+perform (operation counting, :mod:`repro.utils.work`).  The scheduler
+always runs the laggard — the active node with the smallest clock — for
+one EA iteration, so cross-node causality matches an asynchronous cluster:
+a tour broadcast by node A at its time *t* is visible to node B the first
+time B's clock passes ``t + latency``.
+
+Termination per node: target length reached locally, an OPTIMUM_FOUND
+notification received (which the node forwards before stopping), or the
+per-node work budget.  As in the paper, finished nodes simply drop out and
+the topology degenerates around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.node import EANode, NodeConfig
+from ..tsp.tour import Tour
+from ..utils.rng import ensure_rng, spawn_rngs
+from .churn import ChurnEvent, make_schedule, validate_schedule
+from .message import MessageKind, tour_payload
+from .network import LatencyModel, NetworkStats, SimulatedNetwork
+from .topology import get_topology, hypercube
+
+__all__ = ["SimulationResult", "Simulator", "run_simulation"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything the analysis layer needs from one distributed run."""
+
+    best_tour: Tour
+    best_node: int
+    #: Per-node virtual time at which the winning length first existed
+    #: anywhere in the network.
+    best_found_at: float
+    #: Termination reason per node id.
+    reasons: dict
+    #: Final virtual clock per node id.
+    clocks: dict
+    #: Per-node event logs (node id -> EventLog).
+    event_logs: dict
+    network_stats: NetworkStats
+    #: Merged anytime curve: sorted (vsec, running-best length) steps,
+    #: with vsec measured per node (the paper's "CPU time per node").
+    global_trace: list = field(default_factory=list)
+
+    @property
+    def best_length(self) -> int:
+        return self.best_tour.length
+
+    def hit_target(self) -> bool:
+        return any(r == "optimum" for r in self.reasons.values())
+
+    def time_to_quality(self, length: int) -> Optional[float]:
+        """Earliest per-node vsec at which the network held a tour of at
+        most ``length``; None if never reached."""
+        for vsec, best in self.global_trace:
+            if best <= length:
+                return vsec
+        return None
+
+
+class Simulator:
+    """Builds the node set + network and runs the event loop."""
+
+    def __init__(
+        self,
+        instance,
+        n_nodes: int = 8,
+        node_config: NodeConfig | None = None,
+        topology: str | dict = "hypercube",
+        latency: LatencyModel | None = None,
+        churn=None,
+        dissemination: str = "broadcast",
+        gossip_fanout: int = 3,
+        rng=None,
+    ):
+        """``churn`` is an optional schedule of (vsec, action, node_id)
+        membership events (see :mod:`repro.distributed.churn`); joiner
+        ids extend the universe beyond ``n_nodes`` and the topology grows
+        along hypercube positions.  ``dissemination`` selects how
+        improvements spread: "broadcast" (paper: all topology
+        neighbours) or "gossip" (epidemic push to ``gossip_fanout``
+        random alive peers, cf. the DREAM system the paper cites)."""
+        self.instance = instance
+        self.config = node_config or NodeConfig()
+        self._churn = make_schedule(churn) if churn else []
+        n_joiners = sum(1 for e in self._churn if e.action == "join")
+        n_total = n_nodes + n_joiners
+        if self._churn:
+            validate_schedule(self._churn, n_nodes, n_total)
+            if not isinstance(topology, str) or topology != "hypercube":
+                raise ValueError("churn currently requires the hypercube "
+                                 "topology (hub-assigned positions)")
+            topology = hypercube(n_total)
+        elif isinstance(topology, str):
+            topology = get_topology(topology, n_total)
+        if set(topology) != set(range(n_total)):
+            raise ValueError("topology ids must be 0..n_nodes-1")
+        if dissemination not in ("broadcast", "gossip"):
+            raise ValueError(f"unknown dissemination {dissemination!r}")
+        self.dissemination = dissemination
+        self.gossip_fanout = max(1, int(gossip_fanout))
+        self.network = SimulatedNetwork(topology, latency)
+        parent = ensure_rng(rng)
+        self._gossip_rng = ensure_rng(int(parent.integers(2**63 - 1)))
+        rngs = spawn_rngs(parent, n_total)
+        self.nodes = [
+            EANode(i, instance, self.config, rngs[i]) for i in range(n_total)
+        ]
+        self._join_at = {
+            e.node_id: e.vsec for e in self._churn if e.action == "join"
+        }
+        self._leave_at = {
+            e.node_id: e.vsec for e in self._churn if e.action == "leave"
+        }
+        for node_id, at in self._join_at.items():
+            self.nodes[node_id].clock = at
+
+    def run(self, budget_vsec_per_node: float) -> SimulationResult:
+        """Run until every node terminates; budget is per node, as in the
+        paper ('10^3 CPU seconds per node')."""
+        if budget_vsec_per_node <= 0:
+            raise ValueError("budget must be positive")
+        nodes = self.nodes
+        net = self.network
+
+        def deadline(n) -> float:
+            leave = self._leave_at.get(n.node_id, float("inf"))
+            return min(budget_vsec_per_node, leave)
+
+        while True:
+            runnable = [
+                n for n in nodes if not n.done and n.clock < deadline(n)
+            ]
+            if not runnable:
+                break
+            node = min(runnable, key=lambda n: (n.clock, n.node_id))
+            remaining = deadline(node) - node.clock
+            work, candidate = node.compute(remaining)
+            node.clock += work
+            messages = net.collect(node.node_id, node.clock)
+            outcome = node.select(candidate, messages)
+            if outcome.broadcast is not None:
+                order, length = tour_payload(outcome.broadcast)
+                self._disseminate(node, length, order)
+            if outcome.done_reason in ("optimum", "notified"):
+                # Propagate the stop signal (hop-by-hop flooding).
+                order, length = tour_payload(node.s_best)
+                net.broadcast(
+                    node.node_id, MessageKind.OPTIMUM_FOUND, length, order,
+                    sent_at=node.clock,
+                )
+            if not node.done and node.clock >= deadline(node):
+                leave = self._leave_at.get(node.node_id, float("inf"))
+                node.stop("left" if node.clock >= leave else "budget")
+
+        for node in nodes:
+            if not node.done:  # pragma: no cover - defensive
+                node.stop("budget")
+        return self._collect_result()
+
+    def _alive_peers(self, sender: int) -> list:
+        return [
+            n.node_id for n in self.nodes
+            if n.node_id != sender and not n.done
+            and n.clock >= self._join_at.get(n.node_id, 0.0)
+        ]
+
+    def _disseminate(self, node, length: int, order) -> None:
+        """Spread an improvement per the configured dissemination mode."""
+        if self.dissemination == "broadcast":
+            self.network.broadcast(
+                node.node_id, MessageKind.TOUR, length, order,
+                sent_at=node.clock,
+            )
+            return
+        peers = self._alive_peers(node.node_id)
+        if not peers:
+            return
+        k = min(self.gossip_fanout, len(peers))
+        chosen = self._gossip_rng.choice(len(peers), size=k, replace=False)
+        targets = [peers[int(i)] for i in chosen]
+        self.network.send(
+            node.node_id, targets, MessageKind.TOUR, length, order,
+            sent_at=node.clock,
+        )
+
+    def _collect_result(self) -> SimulationResult:
+        nodes = self.nodes
+        best_node = min(
+            (n for n in nodes if n.s_best is not None),
+            key=lambda n: (n.s_best.length, n.node_id),
+        )
+        # Merge improvement events into the global anytime curve.
+        merged: list[tuple[float, int]] = []
+        for n in nodes:
+            merged.extend(n.events.improvements())
+        merged.sort()
+        trace: list[tuple[float, int]] = []
+        running = None
+        found_at = 0.0
+        for vsec, length in merged:
+            if running is None or length < running:
+                running = length
+                trace.append((vsec, length))
+                if length == best_node.s_best.length:
+                    found_at = vsec
+        return SimulationResult(
+            best_tour=best_node.s_best.copy(),
+            best_node=best_node.node_id,
+            best_found_at=found_at,
+            reasons={n.node_id: n.done_reason for n in nodes},
+            clocks={n.node_id: n.clock for n in nodes},
+            event_logs={n.node_id: n.events for n in nodes},
+            network_stats=self.network.stats,
+            global_trace=trace,
+        )
+
+
+def run_simulation(
+    instance,
+    budget_vsec_per_node: float,
+    n_nodes: int = 8,
+    node_config: NodeConfig | None = None,
+    topology: str | dict = "hypercube",
+    latency: LatencyModel | None = None,
+    churn=None,
+    dissemination: str = "broadcast",
+    gossip_fanout: int = 3,
+    rng=None,
+) -> SimulationResult:
+    """One-shot distributed run (the paper's default setup is 8 nodes in a
+    hypercube with the Random-walk kick)."""
+    sim = Simulator(
+        instance,
+        n_nodes=n_nodes,
+        node_config=node_config,
+        topology=topology,
+        latency=latency,
+        churn=churn,
+        dissemination=dissemination,
+        gossip_fanout=gossip_fanout,
+        rng=rng,
+    )
+    return sim.run(budget_vsec_per_node)

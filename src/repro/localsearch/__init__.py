@@ -1,0 +1,23 @@
+"""Local search: 2-opt, Or-opt, Lin-Kernighan, kicks, Chained LK."""
+
+from .chained_lk import ChainedLK, ChainedLKResult, chained_lk
+from .kicks import KICK_STRATEGIES, apply_double_bridge, get_kick
+from .lin_kernighan import LKConfig, LinKernighan, lin_kernighan
+from .or_opt import or_opt
+from .three_opt import three_opt
+from .two_opt import two_opt
+
+__all__ = [
+    "two_opt",
+    "or_opt",
+    "three_opt",
+    "LKConfig",
+    "LinKernighan",
+    "lin_kernighan",
+    "KICK_STRATEGIES",
+    "get_kick",
+    "apply_double_bridge",
+    "ChainedLK",
+    "ChainedLKResult",
+    "chained_lk",
+]

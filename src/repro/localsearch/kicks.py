@@ -1,0 +1,167 @@
+"""Double-bridge kicks: the four CLK perturbation strategies.
+
+Applegate et al. propose four ways of picking the four cities at which the
+double-bridge move (DBM) cuts the tour (paper §2.1):
+
+* **Random** — all cities uniformly at random; strong, tour-degrading kick.
+* **Geometric** — the other three cities come from the k nearest
+  neighbours of a random first city; local kick.
+* **Close** — sample a subset of size ``beta * n``, take the six cities of
+  the subset nearest to the first city, pick the three others from them.
+* **Random-walk** — three independent random walks of fixed length on the
+  neighbour graph, started at the first city; endpoints are the cut
+  cities.  (The paper's and linkern's default.)
+
+Every strategy returns four *cities*; :func:`apply_double_bridge` converts
+them to cut positions and rewires the tour in O(n) (cheap relative to the
+LK pass that follows).  The cities touched by the kick are returned so the
+caller can seed the LK engine's don't-look queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..tsp.tour import Tour
+from ..utils.rng import ensure_rng
+
+__all__ = [
+    "KICK_STRATEGIES",
+    "random_kick",
+    "geometric_kick",
+    "close_kick",
+    "random_walk_kick",
+    "get_kick",
+    "apply_double_bridge",
+]
+
+
+def _distinct_positions(tour: Tour, cities: list[int], rng) -> np.ndarray | None:
+    pos = sorted({int(tour.position[c]) for c in cities})
+    if len(pos) < 4:
+        return None
+    return np.array(pos[:4], dtype=np.intp)
+
+
+def random_kick(tour: Tour, rng, **_kw) -> np.ndarray:
+    """Four uniformly random distinct cut positions."""
+    rng = ensure_rng(rng)
+    pos = rng.choice(tour.n, size=4, replace=False)
+    pos.sort()
+    return pos.astype(np.intp)
+
+
+def geometric_kick(tour: Tour, rng, neighbor_k: int = 16, **_kw) -> np.ndarray:
+    """Cut near a random city: other cuts among its k nearest neighbours."""
+    rng = ensure_rng(rng)
+    n = tour.n
+    v = int(rng.integers(n))
+    neigh = tour.instance.neighbor_lists(min(neighbor_k, n - 1))[v]
+    for _ in range(16):
+        others = rng.choice(neigh, size=min(3, len(neigh)), replace=False)
+        pos = _distinct_positions(tour, [v, *map(int, others)], rng)
+        if pos is not None:
+            return pos
+    return random_kick(tour, rng)
+
+
+def close_kick(tour: Tour, rng, beta: float = 0.1, **_kw) -> np.ndarray:
+    """Applegate's Close strategy: six nearest in a beta*n random subset."""
+    rng = ensure_rng(rng)
+    n = tour.n
+    v = int(rng.integers(n))
+    m = max(8, int(beta * n))
+    subset = rng.choice(n, size=min(m, n), replace=False)
+    subset = subset[subset != v]
+    if len(subset) < 6:
+        return random_kick(tour, rng)
+    d = tour.instance.dist_many(v, subset)
+    nearest6 = subset[np.argsort(d, kind="stable")[:6]]
+    for _ in range(16):
+        others = rng.choice(nearest6, size=3, replace=False)
+        pos = _distinct_positions(tour, [v, *map(int, others)], rng)
+        if pos is not None:
+            return pos
+    return random_kick(tour, rng)
+
+
+def random_walk_kick(tour: Tour, rng, walk_length: int = 25,
+                     neighbor_k: int = 8, **_kw) -> np.ndarray:
+    """Three random walks on the neighbour graph from a random city."""
+    rng = ensure_rng(rng)
+    n = tour.n
+    neigh = tour.instance.neighbor_lists(min(neighbor_k, n - 1))
+    v = int(rng.integers(n))
+    for _ in range(16):
+        cities = [v]
+        for _walk in range(3):
+            cur = v
+            for _step in range(walk_length):
+                cur = int(neigh[cur][rng.integers(neigh.shape[1])])
+            cities.append(cur)
+        pos = _distinct_positions(tour, cities, rng)
+        if pos is not None:
+            return pos
+    return random_kick(tour, rng)
+
+
+KICK_STRATEGIES: dict[str, Callable] = {
+    "random": random_kick,
+    "geometric": geometric_kick,
+    "close": close_kick,
+    "random_walk": random_walk_kick,
+}
+
+
+def get_kick(name: str) -> Callable:
+    """Look up a kick strategy by name (raises KeyError with choices)."""
+    try:
+        return KICK_STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kick strategy {name!r}; choices: {sorted(KICK_STRATEGIES)}"
+        ) from None
+
+
+def apply_double_bridge(tour: Tour, positions: np.ndarray) -> tuple:
+    """Rewire the tour with a double bridge cutting *before* each position.
+
+    ``positions`` are four distinct sorted tour positions q0 < q1 < q2 < q3.
+    The four arcs A=[q0,q1) B=[q1,q2) C=[q2,q3) D=[q3,q0) are reconnected
+    as **A D C B** — the true Martin-Otto-Felten double bridge, which
+    deletes all four boundary edges and adds four new ones with no segment
+    reversal.  Returns the cities incident to the changed edges (8 of
+    them) for seeding don't-look bits.
+    """
+    q0, q1, q2, q3 = (int(p) for p in positions)
+    n = tour.n
+    if not (0 <= q0 < q1 < q2 < q3 < n):
+        raise ValueError(f"cut positions must be sorted and distinct: {positions}")
+    order = tour.order
+    a = order[q0:q1]
+    b = order[q1:q2]
+    c = order[q2:q3]
+    d = np.concatenate([order[q3:], order[:q0]])
+    inst = tour.instance
+    old = (
+        inst.dist(a[-1], b[0])
+        + inst.dist(b[-1], c[0])
+        + inst.dist(c[-1], d[0])
+        + inst.dist(d[-1], a[0])
+    )
+    new = (
+        inst.dist(a[-1], d[0])
+        + inst.dist(d[-1], c[0])
+        + inst.dist(c[-1], b[0])
+        + inst.dist(b[-1], a[0])
+    )
+    new_order = np.concatenate([a, d, c, b])
+    tour.order = new_order
+    tour.position[new_order] = np.arange(n, dtype=np.intp)
+    tour.length += int(new - old)
+    return (
+        int(a[-1]), int(b[0]), int(b[-1]), int(c[0]),
+        int(c[-1]), int(d[0]), int(d[-1]), int(a[0]),
+    )

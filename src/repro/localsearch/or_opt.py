@@ -1,0 +1,101 @@
+"""Or-opt local search: relocate short segments.
+
+Moves segments of 1-3 consecutive cities to a better position between a
+nearby city and its successor.  Complements 2-opt (which cannot perform
+such relocations without two moves) and serves as the refinement step of
+the multilevel baseline's cheaper configurations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..tsp.tour import Tour
+from ..utils.work import WorkMeter
+
+__all__ = ["or_opt"]
+
+
+def or_opt(tour: Tour, neighbor_k: int = 8, max_seg: int = 3,
+           meter: WorkMeter | None = None) -> int:
+    """Optimize ``tour`` in place with Or-opt moves; returns improvement.
+
+    First-improvement over segment lengths 1..max_seg, insertion points
+    drawn from the k-NN lists of the segment's first city.
+    """
+    inst = tour.instance
+    n = tour.n
+    if max_seg >= n - 2:
+        raise ValueError("segment length too large for instance size")
+    meter = meter if meter is not None else WorkMeter()
+    neighbors = inst.neighbor_lists(min(neighbor_k, n - 1))
+    dist = inst.dist
+
+    queue = deque(range(n))
+    in_queue = np.ones(n, dtype=bool)
+    total = 0
+
+    def wake(city: int) -> None:
+        if not in_queue[city]:
+            in_queue[city] = True
+            queue.append(city)
+
+    while queue and not meter.exhausted():
+        s0 = queue.popleft()
+        in_queue[s0] = False
+        for seg_len in range(1, max_seg + 1):
+            p0 = int(tour.position[s0])
+            seg = [int(tour.order[(p0 + k) % n]) for k in range(seg_len)]
+            before = tour.prev(seg[0])
+            after = tour.next(seg[-1])
+            if before in seg or after in seg:
+                continue
+            removed = (
+                dist(before, seg[0]) + dist(seg[-1], after) - dist(before, after)
+            )
+            moved = False
+            for c in neighbors[s0]:
+                c = int(c)
+                meter.tick()
+                if c in seg or c == before:
+                    continue
+                cn = tour.next(c)
+                if cn in seg:
+                    continue
+                # Insert segment (possibly reversed) between c and next(c).
+                for head, tail in ((seg[0], seg[-1]), (seg[-1], seg[0])):
+                    added = dist(c, head) + dist(tail, cn) - dist(c, cn)
+                    delta = added - removed
+                    if delta < 0:
+                        if head != seg[0]:
+                            seg.reverse()
+                        _do_relocate(tour, seg, c)
+                        meter.tick(n // 4 + 1)
+                        tour.length += delta
+                        total -= delta
+                        for city in (before, after, c, cn, *seg):
+                            wake(int(city))
+                        moved = True
+                        break
+                if moved:
+                    break
+            if moved:
+                break
+    return total
+
+
+def _do_relocate(tour: Tour, seg: list[int], after_city: int) -> None:
+    n = tour.n
+    seg_set = set(seg)
+    out: list[int] = []
+    for c in tour.order:
+        c = int(c)
+        if c in seg_set:
+            continue
+        out.append(c)
+        if c == after_city:
+            out.extend(seg)
+    tour.order = np.array(out, dtype=np.intp)
+    tour.position[tour.order] = np.arange(n, dtype=np.intp)

@@ -1,0 +1,83 @@
+"""2-opt local search with neighbour lists and don't-look bits.
+
+Kept separate from the LK engine both as a baseline for tests (anything LK
+produces must be 2-opt-optimal w.r.t. the same candidate lists) and as a
+cheap repair step for the multilevel baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..tsp.tour import Tour
+from ..utils.work import WorkMeter
+
+__all__ = ["two_opt"]
+
+
+def two_opt(tour: Tour, neighbor_k: int = 8, meter: WorkMeter | None = None) -> int:
+    """Optimize ``tour`` in place to 2-opt optimality over k-NN candidates.
+
+    Returns the total improvement (non-negative).  Interruptible: stops at a
+    move boundary once ``meter`` is exhausted.
+    """
+    inst = tour.instance
+    n = tour.n
+    meter = meter if meter is not None else WorkMeter()
+    neighbors = inst.neighbor_lists(min(neighbor_k, n - 1))
+    dist = inst.dist
+
+    queue = deque(range(n))
+    in_queue = np.ones(n, dtype=bool)
+    total = 0
+
+    def wake(city: int) -> None:
+        if not in_queue[city]:
+            in_queue[city] = True
+            queue.append(city)
+
+    while queue and not meter.exhausted():
+        a = queue.popleft()
+        in_queue[a] = False
+        improved_here = True
+        while improved_here and not meter.exhausted():
+            improved_here = False
+            for b in (tour.next(a), tour.prev(a)):
+                d_ab = dist(a, b)
+                for c in neighbors[a]:
+                    c = int(c)
+                    meter.tick()
+                    d_ac = dist(a, c)
+                    if d_ac >= d_ab:
+                        break  # neighbours sorted by distance
+                    if c == b:
+                        continue
+                    # Orient: the move removes (a,b) and (c,d) where d is
+                    # c's neighbour on the same side as b is of a.
+                    d_city = tour.next(c) if b == tour.next(a) else tour.prev(c)
+                    if d_city == a:
+                        continue
+                    delta = d_ac + dist(b, d_city) - d_ab - dist(c, d_city)
+                    if delta < 0:
+                        if b == tour.next(a):
+                            # remove (a->b), (c->d): reverse b..c
+                            moved = tour.reverse_segment(
+                                tour.position[b], tour.position[c]
+                            )
+                        else:
+                            # remove (b->a), (d->c): reverse a..d
+                            moved = tour.reverse_segment(
+                                tour.position[a], tour.position[d_city]
+                            )
+                        meter.tick(moved if moved else 1)
+                        tour.length += delta
+                        total -= delta
+                        for city in (a, b, c, d_city):
+                            wake(int(city))
+                        improved_here = True
+                        break
+                if improved_here:
+                    break
+    return total

@@ -1,0 +1,18 @@
+"""TSP substrate: instances, distances, tours, neighbour lists, testbed."""
+
+from .instance import TSPInstance
+from .tour import Tour, random_tour
+from . import atsp, distances, generators, neighbors, registry, stats, tsplib
+
+__all__ = [
+    "TSPInstance",
+    "Tour",
+    "random_tour",
+    "atsp",
+    "distances",
+    "generators",
+    "neighbors",
+    "registry",
+    "stats",
+    "tsplib",
+]

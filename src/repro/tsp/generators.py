@@ -1,0 +1,255 @@
+"""Synthetic instance generators mimicking the paper's testbed classes.
+
+The paper's testbed (TSPLIB + DIMACS + national instances) is not bundled
+here, so each *class* of instance is reproduced by a generator that creates
+point sets with the same structural character:
+
+==============  ====================================================  =========================
+Paper instance  Structural character                                  Generator
+==============  ====================================================  =========================
+E1k.1           uniform random in a square (DIMACS E-class)           :func:`uniform`
+C1k.1           normal clusters around 10 centres (DIMACS C-class)    :func:`clustered`
+fl1577, fl3795  drilling plates: dense regular blocks + sparse frame  :func:`drilling`
+pr2392, pcb3038 PCB layouts: points snapped to a routing grid         :func:`grid_pcb`
+fnl4461, fi10639, sw24978  country maps: nonuniform density blobs     :func:`country`
+pla33810/85900  programmed logic arrays: rows of pads                 :func:`pla_rows`
+==============  ====================================================  =========================
+
+All generators take ``(n, rng)`` plus shape parameters and return a
+:class:`~repro.tsp.instance.TSPInstance` with EUC_2D (CEIL_2D for the
+pla-class, matching TSPLIB).  Coordinates are scaled to roughly [0, 10^4] so
+integer rounding behaves like TSPLIB instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .instance import TSPInstance
+
+__all__ = [
+    "uniform",
+    "clustered",
+    "drilling",
+    "grid_pcb",
+    "country",
+    "pla_rows",
+    "random_matrix",
+]
+
+_SCALE = 10_000.0
+
+
+def _rng(rng) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _dedupe(coords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Jitter exact duplicates; coincident cities make degenerate edges."""
+    seen: dict[tuple, int] = {}
+    out = coords.copy()
+    for i in range(len(out)):
+        key = (round(out[i, 0], 6), round(out[i, 1], 6))
+        while key in seen:
+            out[i] += rng.uniform(-1.0, 1.0, size=2)
+            key = (round(out[i, 0], 6), round(out[i, 1], 6))
+        seen[key] = i
+    return out
+
+
+def uniform(n: int, rng=None, name: Optional[str] = None) -> TSPInstance:
+    """Uniform random points in a square (DIMACS E-class, e.g. E1k.1)."""
+    rng = _rng(rng)
+    coords = rng.uniform(0.0, _SCALE, size=(n, 2))
+    return TSPInstance(
+        coords=_dedupe(coords, rng),
+        name=name or f"E{n}",
+        comment=f"uniform random, n={n}",
+    )
+
+
+def clustered(
+    n: int,
+    rng=None,
+    n_clusters: int = 10,
+    spread: float = 0.05,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """Normally-distributed clusters (DIMACS C-class, e.g. C1k.1).
+
+    ``spread`` is the cluster standard deviation as a fraction of the
+    square's side length.
+    """
+    rng = _rng(rng)
+    centers = rng.uniform(0.1 * _SCALE, 0.9 * _SCALE, size=(n_clusters, 2))
+    assign = rng.integers(0, n_clusters, size=n)
+    coords = centers[assign] + rng.normal(0.0, spread * _SCALE, size=(n, 2))
+    coords = np.clip(coords, 0.0, _SCALE)
+    return TSPInstance(
+        coords=_dedupe(coords, rng),
+        name=name or f"C{n}",
+        comment=f"clustered, n={n}, clusters={n_clusters}, spread={spread}",
+    )
+
+
+def drilling(
+    n: int,
+    rng=None,
+    n_blocks: int = 9,
+    block_fill: float = 0.85,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """Drilling-plate layout (fl-class: fl1577, fl3795).
+
+    The fl instances are drill plates: most holes sit in dense regular
+    blocks (connector footprints) with a sparse scatter elsewhere.  The
+    regular sub-grids create huge plateaus of equal-length tours, which is
+    exactly what traps CLK in deep local optima in the paper — preserving
+    that behaviour is the point of this generator.
+    """
+    rng = _rng(rng)
+    n_block_pts = int(n * block_fill)
+    n_scatter = n - n_block_pts
+    # Block layout: non-overlapping rectangles on a coarse grid.
+    side = int(np.ceil(np.sqrt(n_blocks)))
+    cell = _SCALE / side
+    blocks = []
+    slots = rng.permutation(side * side)[:n_blocks]
+    base = n_block_pts // n_blocks
+    rem = n_block_pts - base * n_blocks
+    # One plate-wide hole pitch (real fl drilling plates use identical
+    # component footprints): equal-length edges across *all* blocks form
+    # the huge plateaus of equal-cost tours that trap Chained LK.
+    avg_cols = max(1, int(np.ceil(np.sqrt(max(base, 1)))))
+    pitch = round(0.7 * cell / (avg_cols + 1))
+    for bi, slot in enumerate(slots):
+        bx, by = (slot % side) * cell, (slot // side) * cell
+        m = base + (1 if bi < rem else 0)
+        if m == 0:
+            continue
+        # Regular grid inside the block with the shared pitch.
+        cols = max(1, int(np.ceil(np.sqrt(m))))
+        xs = bx + 0.15 * cell + pitch * (np.arange(m) % cols)
+        ys = by + 0.15 * cell + pitch * (np.arange(m) // cols)
+        blocks.append(np.stack([xs, ys], axis=1))
+    scatter = rng.uniform(0.0, _SCALE, size=(n_scatter, 2))
+    coords = np.vstack(blocks + [scatter])[:n]
+    return TSPInstance(
+        coords=_dedupe(coords, rng),
+        name=name or f"fl{n}",
+        comment=f"drilling plate, n={n}, blocks={n_blocks}, fill={block_fill}",
+    )
+
+
+def grid_pcb(
+    n: int,
+    rng=None,
+    pitch: float = 50.0,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """PCB-style layout (pr/pcb-class: pr2392, pcb3038).
+
+    Points are snapped to a routing grid of the given pitch, with clustered
+    occupancy (components), so many inter-city distances coincide.
+    """
+    rng = _rng(rng)
+    # Oversample cluster centres, then fill grid cells around them.
+    n_comp = max(4, n // 60)
+    centers = rng.uniform(0.0, _SCALE, size=(n_comp, 2))
+    assign = rng.integers(0, n_comp, size=n)
+    raw = centers[assign] + rng.normal(0.0, 0.06 * _SCALE, size=(n, 2))
+    snapped = np.round(np.clip(raw, 0.0, _SCALE) / pitch) * pitch
+    return TSPInstance(
+        coords=_dedupe(snapped, rng),
+        name=name or f"pcb{n}",
+        comment=f"pcb grid, n={n}, pitch={pitch}",
+    )
+
+
+def country(
+    n: int,
+    rng=None,
+    n_blobs: int = 25,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """Country-map layout (fnl/fi/sw/usa-class national instances).
+
+    Population-like density: many blobs of widely varying size and spread
+    along a meandering 'settled corridor', giving strongly nonuniform
+    density without the regular structure of the fl/pcb classes.
+    """
+    rng = _rng(rng)
+    # Corridor: a smooth random walk across the square.
+    t = np.linspace(0.0, 1.0, n_blobs)
+    cx = _SCALE * (0.1 + 0.8 * t)
+    cy = _SCALE * (0.5 + 0.35 * np.cumsum(rng.normal(0, 0.35, n_blobs)) / np.sqrt(n_blobs))
+    cy = np.clip(cy, 0.05 * _SCALE, 0.95 * _SCALE)
+    weights = rng.pareto(1.3, size=n_blobs) + 0.2
+    weights /= weights.sum()
+    counts = rng.multinomial(n, weights)
+    pieces = []
+    for k in range(n_blobs):
+        if counts[k] == 0:
+            continue
+        sd = _SCALE * rng.uniform(0.01, 0.08)
+        pts = np.stack([cx[k], cy[k]]) + rng.normal(0.0, sd, size=(counts[k], 2))
+        pieces.append(pts)
+    coords = np.clip(np.vstack(pieces), 0.0, _SCALE)
+    return TSPInstance(
+        coords=_dedupe(coords, rng),
+        name=name or f"fi{n}",
+        comment=f"country map, n={n}, blobs={n_blobs}",
+    )
+
+
+def pla_rows(
+    n: int,
+    rng=None,
+    row_pitch: float = 120.0,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """Programmed-logic-array layout (pla-class: pla33810, pla85900).
+
+    Pads arranged in long horizontal rows with irregular gaps; uses CEIL_2D
+    like the TSPLIB pla instances.
+    """
+    rng = _rng(rng)
+    n_rows = max(2, int(np.sqrt(n) / 2))
+    counts = rng.multinomial(n, np.full(n_rows, 1.0 / n_rows))
+    pieces = []
+    for r in range(n_rows):
+        m = counts[r]
+        if m == 0:
+            continue
+        xs = np.sort(rng.uniform(0.0, _SCALE, size=m))
+        ys = np.full(m, (r + 0.5) * row_pitch) + rng.choice(
+            [0.0, row_pitch * 0.25], size=m
+        )
+        pieces.append(np.stack([xs, ys], axis=1))
+    coords = np.vstack(pieces)
+    return TSPInstance(
+        coords=_dedupe(coords, rng),
+        edge_weight_type="CEIL_2D",
+        name=name or f"pla{n}",
+        comment=f"pla rows, n={n}, rows={n_rows}",
+    )
+
+
+def random_matrix(n: int, rng=None, max_weight: int = 1000,
+                  name: Optional[str] = None) -> TSPInstance:
+    """Random symmetric EXPLICIT instance (non-metric; stress tests)."""
+    rng = _rng(rng)
+    m = rng.integers(1, max_weight + 1, size=(n, n))
+    m = np.triu(m, 1)
+    m = m + m.T
+    return TSPInstance(
+        coords=None,
+        edge_weight_type="EXPLICIT",
+        matrix=m,
+        name=name or f"rand{n}",
+        comment=f"random matrix, n={n}, max={max_weight}",
+    )

@@ -1,0 +1,108 @@
+"""Instance analytics.
+
+Structural features of a TSP instance that predict solver behaviour:
+nearest-neighbour distance statistics (plateau indicator — the fl-class
+drilling plates have huge numbers of *equal* NN distances), density
+dispersion (clustered vs uniform), and bounding geometry.  Used by the
+CLI's ``info`` command and handy when deciding kick strategies (the
+paper's Table 3/4 discussion ties strategy quality to instance class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["InstanceStats", "instance_stats"]
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Summary features of an instance."""
+
+    n: int
+    edge_weight_type: str
+    #: Bounding-box width/height (geometric instances; 0 otherwise).
+    bbox: tuple
+    #: Mean / median / std of nearest-neighbour distances.
+    nn_mean: float
+    nn_median: float
+    nn_std: float
+    #: Fraction of cities sharing the modal NN distance (plateau signal;
+    #: ~0 for uniform instances, large for drilling plates and grids).
+    nn_mode_share: float
+    #: Variance-to-mean ratio of grid-cell occupancy (1 = Poisson/uniform,
+    #: >> 1 = clustered).
+    dispersion: float
+    #: Crude class guess from the features.
+    guessed_class: str
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"cities            : {self.n}",
+            f"metric            : {self.edge_weight_type}",
+            f"bounding box      : {self.bbox[0]:.0f} x {self.bbox[1]:.0f}",
+            f"NN distance       : mean {self.nn_mean:.1f}, "
+            f"median {self.nn_median:.1f}, std {self.nn_std:.1f}",
+            f"NN modal share    : {self.nn_mode_share:.0%}"
+            "  (equal-distance plateau indicator)",
+            f"density dispersion: {self.dispersion:.1f}"
+            "  (1 = uniform, >> 1 = clustered)",
+            f"guessed class     : {self.guessed_class}",
+        ]
+        return "\n".join(lines)
+
+
+def instance_stats(instance, grid_cells: int = 8) -> InstanceStats:
+    """Compute :class:`InstanceStats` for a (geometric) instance.
+
+    EXPLICIT instances get NN statistics from the matrix and no
+    geometric features.
+    """
+    n = instance.n
+    if instance.coords is not None:
+        coords = instance.coords
+        tree = cKDTree(coords)
+        d, _ = tree.query(coords, k=2)
+        nn = d[:, 1]
+        span = coords.max(axis=0) - coords.min(axis=0)
+        bbox = (float(span[0]), float(span[1]))
+        lo = coords.min(axis=0)
+        ij = np.floor(
+            (coords - lo) / (span + 1e-9) * grid_cells
+        ).clip(0, grid_cells - 1)
+        flat = (ij[:, 0] * grid_cells + ij[:, 1]).astype(int)
+        counts = np.bincount(flat, minlength=grid_cells * grid_cells)
+        dispersion = float(counts.var() / max(counts.mean(), 1e-9))
+    else:
+        m = instance.distance_matrix().astype(float)
+        mm = m + np.diag(np.full(n, np.inf))
+        nn = mm.min(axis=1)
+        bbox = (0.0, 0.0)
+        dispersion = 1.0
+
+    rounded = np.round(nn, 3)
+    _, mode_counts = np.unique(rounded, return_counts=True)
+    mode_share = float(mode_counts.max() / n)
+
+    if mode_share > 0.25:
+        guess = "drilling/grid (fl, pr, pcb, pla class)"
+    elif dispersion > 3.0:
+        guess = "clustered / national (C, fnl, fi class)"
+    else:
+        guess = "uniform random (E class)"
+
+    return InstanceStats(
+        n=n,
+        edge_weight_type=instance.edge_weight_type,
+        bbox=bbox,
+        nn_mean=float(nn.mean()),
+        nn_median=float(np.median(nn)),
+        nn_std=float(nn.std()),
+        nn_mode_share=mode_share,
+        dispersion=dispersion,
+        guessed_class=guess,
+    )

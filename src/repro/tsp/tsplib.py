@@ -1,0 +1,253 @@
+"""TSPLIB file format support.
+
+Reads and writes the subset of Reinelt's TSPLIB-95 format needed for the
+paper's testbed: ``TYPE: TSP``, node-coordinate sections for all planar
+metrics plus ``GEO``, and ``EXPLICIT`` matrices in the common
+``EDGE_WEIGHT_FORMAT`` layouts.  Also reads/writes ``.tour`` files.
+
+The parser is deliberately forgiving about whitespace and key/value colons,
+matching real files in the wild.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from .instance import TSPInstance
+from .tour import Tour
+
+__all__ = ["load", "loads", "dump", "dumps", "load_tour", "dump_tour"]
+
+_SUPPORTED_WEIGHT_FORMATS = (
+    "FULL_MATRIX",
+    "UPPER_ROW",
+    "LOWER_ROW",
+    "UPPER_DIAG_ROW",
+    "LOWER_DIAG_ROW",
+    "UPPER_COL",
+    "LOWER_COL",
+    "UPPER_DIAG_COL",
+    "LOWER_DIAG_COL",
+)
+
+
+def _tokenize_sections(text: str):
+    """Split a TSPLIB file into (spec dict, {section name: token list})."""
+    spec: dict[str, str] = {}
+    sections: dict[str, list[str]] = {}
+    lines = text.splitlines()
+    i = 0
+    section_keys = {
+        "NODE_COORD_SECTION",
+        "EDGE_WEIGHT_SECTION",
+        "DISPLAY_DATA_SECTION",
+        "TOUR_SECTION",
+        "DEPOT_SECTION",
+        "FIXED_EDGES_SECTION",
+    }
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line == "EOF":
+            continue
+        key = line.split(":", 1)[0].strip().upper()
+        if key in section_keys:
+            toks: list[str] = []
+            while i < len(lines):
+                s = lines[i].strip()
+                if not s:
+                    i += 1
+                    continue
+                head = s.split(":", 1)[0].strip().upper()
+                if s == "EOF" or head in section_keys or _looks_like_spec(s):
+                    break
+                toks.extend(s.split())
+                i += 1
+            sections[key] = toks
+        elif ":" in line:
+            k, v = line.split(":", 1)
+            spec[k.strip().upper()] = v.strip()
+        else:
+            # Bare keyword outside any known section; ignore.
+            continue
+    return spec, sections
+
+
+_SPEC_KEYS = {
+    "NAME",
+    "TYPE",
+    "COMMENT",
+    "DIMENSION",
+    "CAPACITY",
+    "EDGE_WEIGHT_TYPE",
+    "EDGE_WEIGHT_FORMAT",
+    "EDGE_DATA_FORMAT",
+    "NODE_COORD_TYPE",
+    "DISPLAY_DATA_TYPE",
+}
+
+
+def _looks_like_spec(line: str) -> bool:
+    if ":" not in line:
+        return False
+    return line.split(":", 1)[0].strip().upper() in _SPEC_KEYS
+
+
+def loads(text: str) -> TSPInstance:
+    """Parse a TSPLIB ``.tsp`` document from a string."""
+    spec, sections = _tokenize_sections(text)
+    ftype = spec.get("TYPE", "TSP").split()[0].upper()
+    if ftype not in ("TSP", "STSP"):
+        raise ValueError(f"unsupported TSPLIB TYPE: {ftype!r} (only symmetric TSP)")
+    name = spec.get("NAME", "unnamed")
+    comment = spec.get("COMMENT", "")
+    n = int(spec["DIMENSION"])
+    ewt = spec.get("EDGE_WEIGHT_TYPE", "EUC_2D").upper()
+
+    if ewt == "EXPLICIT":
+        fmt = spec.get("EDGE_WEIGHT_FORMAT", "FULL_MATRIX").upper()
+        if fmt not in _SUPPORTED_WEIGHT_FORMATS:
+            raise ValueError(f"unsupported EDGE_WEIGHT_FORMAT: {fmt!r}")
+        toks = sections.get("EDGE_WEIGHT_SECTION")
+        if toks is None:
+            raise ValueError("EXPLICIT instance missing EDGE_WEIGHT_SECTION")
+        vals = np.array([int(float(t)) for t in toks], dtype=np.int64)
+        matrix = _assemble_matrix(vals, n, fmt)
+        return TSPInstance(
+            coords=None,
+            edge_weight_type="EXPLICIT",
+            name=name,
+            matrix=matrix,
+            comment=comment,
+        )
+
+    toks = sections.get("NODE_COORD_SECTION")
+    if toks is None:
+        raise ValueError("coordinate instance missing NODE_COORD_SECTION")
+    if len(toks) != 3 * n:
+        raise ValueError(
+            f"NODE_COORD_SECTION has {len(toks)} tokens, expected {3 * n}"
+        )
+    rows = np.array(toks, dtype=np.float64).reshape(n, 3)
+    # TSPLIB numbers cities 1..n but files exist with arbitrary labels; sort
+    # by label to be safe.
+    order = np.argsort(rows[:, 0], kind="stable")
+    coords = rows[order, 1:3]
+    return TSPInstance(
+        coords=coords, edge_weight_type=ewt, name=name, comment=comment
+    )
+
+
+def _assemble_matrix(vals: np.ndarray, n: int, fmt: str) -> np.ndarray:
+    m = np.zeros((n, n), dtype=np.int64)
+    if fmt == "FULL_MATRIX":
+        if vals.size != n * n:
+            raise ValueError("FULL_MATRIX size mismatch")
+        m = vals.reshape(n, n).copy()
+    elif fmt in ("UPPER_ROW", "UPPER_DIAG_ROW"):
+        diag = fmt == "UPPER_DIAG_ROW"
+        expect = n * (n + 1) // 2 if diag else n * (n - 1) // 2
+        if vals.size != expect:
+            raise ValueError(f"{fmt} size mismatch: {vals.size} != {expect}")
+        k = 0
+        for i in range(n):
+            start = i if diag else i + 1
+            for j in range(start, n):
+                m[i, j] = vals[k]
+                m[j, i] = vals[k]
+                k += 1
+    elif fmt in ("UPPER_COL", "UPPER_DIAG_COL", "LOWER_COL",
+                 "LOWER_DIAG_COL"):
+        # Column-major formats are the row-major ones of the transpose:
+        # UPPER_COL(m) == LOWER_ROW(m^T) and the matrix is symmetric, so
+        # reuse the row assembly with upper/lower swapped.
+        swap = {
+            "UPPER_COL": "LOWER_ROW",
+            "UPPER_DIAG_COL": "LOWER_DIAG_ROW",
+            "LOWER_COL": "UPPER_ROW",
+            "LOWER_DIAG_COL": "UPPER_DIAG_ROW",
+        }
+        return _assemble_matrix(vals, n, swap[fmt])
+    elif fmt in ("LOWER_ROW", "LOWER_DIAG_ROW"):
+        diag = fmt == "LOWER_DIAG_ROW"
+        expect = n * (n + 1) // 2 if diag else n * (n - 1) // 2
+        if vals.size != expect:
+            raise ValueError(f"{fmt} size mismatch: {vals.size} != {expect}")
+        k = 0
+        for i in range(n):
+            end = i + 1 if diag else i
+            for j in range(end):
+                m[i, j] = vals[k]
+                m[j, i] = vals[k]
+                k += 1
+            if diag:
+                # the diagonal entry itself
+                m[i, i] = 0
+    np.fill_diagonal(m, 0)
+    return m
+
+
+def load(path: Union[str, Path]) -> TSPInstance:
+    """Load a TSPLIB ``.tsp`` file."""
+    return loads(Path(path).read_text())
+
+
+def dumps(instance: TSPInstance) -> str:
+    """Serialize an instance to TSPLIB format."""
+    buf = io.StringIO()
+    buf.write(f"NAME : {instance.name}\n")
+    buf.write("TYPE : TSP\n")
+    if instance.comment:
+        buf.write(f"COMMENT : {instance.comment}\n")
+    buf.write(f"DIMENSION : {instance.n}\n")
+    buf.write(f"EDGE_WEIGHT_TYPE : {instance.edge_weight_type}\n")
+    if instance.edge_weight_type == "EXPLICIT":
+        buf.write("EDGE_WEIGHT_FORMAT : FULL_MATRIX\n")
+        buf.write("EDGE_WEIGHT_SECTION\n")
+        for row in instance.matrix:
+            buf.write(" ".join(str(int(v)) for v in row) + "\n")
+    else:
+        buf.write("NODE_COORD_SECTION\n")
+        for i, (x, y) in enumerate(instance.coords, start=1):
+            buf.write(f"{i} {x:.6f} {y:.6f}\n")
+    buf.write("EOF\n")
+    return buf.getvalue()
+
+
+def dump(instance: TSPInstance, path: Union[str, Path]) -> None:
+    """Write an instance to a TSPLIB ``.tsp`` file."""
+    Path(path).write_text(dumps(instance))
+
+
+def load_tour(path: Union[str, Path], instance: Optional[TSPInstance] = None):
+    """Load a TSPLIB ``.tour`` file.
+
+    Returns a :class:`Tour` when ``instance`` is given, else the raw
+    zero-based order array.
+    """
+    spec, sections = _tokenize_sections(Path(path).read_text())
+    toks = sections.get("TOUR_SECTION")
+    if toks is None:
+        raise ValueError("missing TOUR_SECTION")
+    cities = [int(t) for t in toks if int(t) != -1]
+    order = np.array(cities, dtype=np.intp) - 1
+    if instance is not None:
+        return Tour(instance, order)
+    return order
+
+
+def dump_tour(tour: Tour, path: Union[str, Path], name: str = "tour") -> None:
+    """Write a tour to a TSPLIB ``.tour`` file (1-based cities)."""
+    buf = io.StringIO()
+    buf.write(f"NAME : {name}\n")
+    buf.write("TYPE : TOUR\n")
+    buf.write(f"DIMENSION : {tour.n}\n")
+    buf.write("TOUR_SECTION\n")
+    for c in tour.order:
+        buf.write(f"{int(c) + 1}\n")
+    buf.write("-1\nEOF\n")
+    Path(path).write_text(buf.getvalue())

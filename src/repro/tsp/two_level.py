@@ -1,0 +1,225 @@
+"""Two-level doubly-linked tour representation.
+
+The array representation in :mod:`repro.tsp.tour` pays O(n) per 2-opt
+flip (segment reversal).  Production LK codes (Concorde's ``linkern``,
+LKH) use a *two-level list* (Chrobak-Szymacha-Krawczyk / Fredman et al.):
+the tour is a doubly-linked list of ~sqrt(n) *segments*, each holding
+~sqrt(n) consecutive cities plus a ``reversed`` flag; ``next``/``prev``/
+``between`` stay O(1) while a flip costs O(sqrt n) amortized — segment
+splits at the flip endpoints, reversal of the segment sub-list (flag
+toggles only), and occasional global rebuilds when segments fragment.
+
+:class:`TwoLevelTour` mirrors the :class:`~repro.tsp.tour.Tour` query
+interface and adds :meth:`flip`; the equivalence property tests drive
+both representations through identical operation sequences.  The LK
+engine itself keeps the array tour (for the testbed sizes the constant
+factors favour it); this structure is the upgrade path for 10^5-city
+instances and is exercised by the engine-scaling bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["TwoLevelTour"]
+
+
+class _Segment:
+    """One segment: a slice of cities plus orientation and ordering key."""
+
+    __slots__ = ("cities", "reversed", "order_key")
+
+    def __init__(self, cities: list, order_key: int):
+        self.cities = cities
+        self.reversed = False
+        self.order_key = order_key
+
+    def __len__(self) -> int:
+        return len(self.cities)
+
+    def city_at(self, k: int) -> int:
+        """k-th city in tour orientation."""
+        if self.reversed:
+            return self.cities[len(self.cities) - 1 - k]
+        return self.cities[k]
+
+    def tour_cities(self) -> list:
+        return self.cities[::-1] if self.reversed else list(self.cities)
+
+
+class TwoLevelTour:
+    """A Hamiltonian cycle with O(sqrt n) flips.
+
+    City bookkeeping: ``_seg_of[city]`` is the segment object holding the
+    city and ``_pos_of[city]`` its *storage* index inside that segment
+    (orientation-independent); tour positions are derived on demand.
+    """
+
+    def __init__(self, instance, order: Iterable[int]):
+        self.instance = instance
+        self.n = instance.n
+        arr = np.asarray(list(order) if not isinstance(order, np.ndarray)
+                         else order, dtype=np.intp)
+        if arr.shape != (self.n,):
+            raise ValueError(f"tour must have {self.n} cities")
+        if np.any(np.bincount(arr, minlength=self.n) != 1):
+            raise ValueError("order is not a permutation of 0..n-1")
+        self.length = int(instance.tour_length(arr))
+        self._group = max(4, int(math.isqrt(self.n)) + 1)
+        self._build(arr.tolist())
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, order: list) -> None:
+        g = self._group
+        self._segments: list[_Segment] = []
+        self._seg_of: dict[int, _Segment] = {}
+        self._pos_of: dict[int, int] = {}
+        for start in range(0, self.n, g):
+            chunk = order[start : start + g]
+            seg = _Segment(chunk, 0)
+            self._segments.append(seg)
+            for k, c in enumerate(chunk):
+                self._seg_of[c] = seg
+                self._pos_of[c] = k
+        self._renumber()
+
+    def _renumber(self) -> None:
+        for i, seg in enumerate(self._segments):
+            seg.order_key = i
+
+    # -- queries --------------------------------------------------------------
+
+    def order_array(self) -> np.ndarray:
+        """Materialize the tour order (O(n); for interop and testing)."""
+        out: list[int] = []
+        for seg in self._segments:
+            out.extend(seg.tour_cities())
+        return np.array(out, dtype=np.intp)
+
+    def _seg_index(self, seg: _Segment) -> int:
+        return seg.order_key
+
+    def _tour_pos_in_seg(self, city: int) -> int:
+        seg = self._seg_of[city]
+        k = self._pos_of[city]
+        return (len(seg) - 1 - k) if seg.reversed else k
+
+    def sequence_key(self, city: int) -> tuple:
+        """Totally ordered key along the tour: (segment, offset)."""
+        seg = self._seg_of[city]
+        return (seg.order_key, self._tour_pos_in_seg(city))
+
+    def next(self, city: int) -> int:
+        seg = self._seg_of[city]
+        k = self._tour_pos_in_seg(city)
+        if k + 1 < len(seg):
+            return seg.city_at(k + 1)
+        nxt_seg = self._segments[(seg.order_key + 1) % len(self._segments)]
+        return nxt_seg.city_at(0)
+
+    def prev(self, city: int) -> int:
+        seg = self._seg_of[city]
+        k = self._tour_pos_in_seg(city)
+        if k > 0:
+            return seg.city_at(k - 1)
+        prv_seg = self._segments[(seg.order_key - 1) % len(self._segments)]
+        return prv_seg.city_at(len(prv_seg) - 1)
+
+    def between(self, a: int, b: int, c: int) -> bool:
+        """True iff b lies strictly within the oriented arc a -> c."""
+        ka, kb, kc = (
+            self.sequence_key(a), self.sequence_key(b), self.sequence_key(c)
+        )
+        if ka < kc:
+            return ka < kb < kc
+        return kb > ka or kb < kc
+
+    # -- mutation ----------------------------------------------------------------
+
+    def _split_before(self, city: int) -> None:
+        """Ensure ``city`` starts its segment (split if mid-segment)."""
+        seg = self._seg_of[city]
+        k = self._tour_pos_in_seg(city)
+        if k == 0:
+            return
+        tour_cities = seg.tour_cities()
+        left, right = tour_cities[:k], tour_cities[k:]
+        idx = self._segments.index(seg)
+        seg_l = _Segment(left, 0)
+        seg_r = _Segment(right, 0)
+        self._segments[idx : idx + 1] = [seg_l, seg_r]
+        for s in (seg_l, seg_r):
+            for p, c in enumerate(s.cities):
+                self._seg_of[c] = s
+                self._pos_of[c] = p
+        self._renumber()
+
+    def flip(self, a: int, b: int) -> None:
+        """Reverse the tour path from ``a`` to ``b`` (inclusive, in tour
+        orientation).  The cycle's edge set changes exactly as
+        ``Tour.reverse_segment(pos(a), pos(b))`` does.
+
+        Does not maintain ``length``; callers apply deltas (same contract
+        as the array tour).
+        """
+        if a == b:
+            return
+        self._split_before(a)
+        after_b = self.next(b)
+        if after_b != a:
+            self._split_before(after_b)
+        ia = self._seg_index(self._seg_of[a])
+        ib = self._seg_index(self._seg_of[b])
+        m = len(self._segments)
+        if ia <= ib:
+            span = list(range(ia, ib + 1))
+        else:
+            span = list(range(ia, m)) + list(range(0, ib + 1))
+        segs = [self._segments[i] for i in span]
+        for seg in segs:
+            seg.reversed = not seg.reversed
+        segs.reverse()
+        # Write the reversed block back into the (cyclic) span slots.
+        for slot, seg in zip(span, segs):
+            self._segments[slot] = seg
+        self._renumber()
+        if len(self._segments) > 4 * max(4, int(math.isqrt(self.n)) + 1):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._build(self.order_array().tolist())
+
+    # -- integrity ------------------------------------------------------------------
+
+    def is_valid(self) -> bool:
+        """Structural invariants: partition, bookkeeping, linkage."""
+        seen: list[int] = []
+        for seg in self._segments:
+            if len(seg) == 0:
+                return False
+            for p, c in enumerate(seg.cities):
+                if self._seg_of.get(c) is not seg or self._pos_of.get(c) != p:
+                    return False
+            seen.extend(seg.cities)
+        if sorted(seen) != list(range(self.n)):
+            return False
+        order = self.order_array()
+        for k in range(self.n):
+            if self.next(int(order[k])) != int(order[(k + 1) % self.n]):
+                return False
+            if self.prev(int(order[(k + 1) % self.n])) != int(order[k]):
+                return False
+        return True
+
+    def recompute_length(self) -> int:
+        return int(self.instance.tour_length(self.order_array()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TwoLevelTour(n={self.n}, segments={len(self._segments)}, "
+            f"length={self.length})"
+        )

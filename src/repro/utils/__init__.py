@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG plumbing, work accounting."""
+
+from .rng import ensure_rng, spawn_rngs
+from .work import WorkMeter
+
+__all__ = ["ensure_rng", "spawn_rngs", "WorkMeter"]

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic instances and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tsp import generators
+from repro.tsp.instance import TSPInstance
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_instance():
+    """9 cities: exact optimum computable by brute force."""
+    return generators.uniform(9, rng=42, name="tiny9")
+
+
+@pytest.fixture(scope="session")
+def small_instance():
+    """60 uniform cities: big enough for LK to have real work."""
+    return generators.uniform(60, rng=7, name="small60")
+
+
+@pytest.fixture(scope="session")
+def clustered_instance():
+    return generators.clustered(50, rng=11, n_clusters=5, name="clust50")
+
+
+@pytest.fixture(scope="session")
+def explicit_instance():
+    """Small EXPLICIT-matrix instance (non-geometric code paths)."""
+    return generators.random_matrix(12, rng=3, name="mat12")
+
+
+@pytest.fixture(scope="session")
+def square_instance():
+    """4 cities on a unit-ish square: optimum known by hand."""
+    coords = np.array(
+        [[0.0, 0.0], [0.0, 100.0], [100.0, 100.0], [100.0, 0.0]]
+    )
+    return TSPInstance(coords=coords, name="square4")

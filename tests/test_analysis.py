@@ -1,0 +1,143 @@
+"""Tests for the analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_chart,
+    average_traces,
+    excess_percent,
+    fmt_pct,
+    fmt_time,
+    format_series,
+    format_table,
+    mean_excess_percent,
+    measure_machine_factor,
+    merge_min,
+    normalize_times,
+    sample,
+    speedup_table,
+    success_count,
+    time_to_quality_stats,
+    time_to_target,
+    value_at,
+)
+
+
+class TestQuality:
+    def test_excess_percent(self):
+        assert excess_percent(101.0, 100.0) == pytest.approx(1.0)
+        assert excess_percent(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_excess_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            excess_percent(10, 0)
+
+    def test_mean_excess(self):
+        assert mean_excess_percent([102, 104], 100) == pytest.approx(3.0)
+
+    def test_mean_excess_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_excess_percent([], 100)
+
+    def test_success_count(self):
+        assert success_count([10, 11, 10, 12], 10) == 2
+
+
+class TestTimeseries:
+    TRACE = [(1.0, 100), (3.0, 90), (7.0, 80)]
+
+    def test_value_at(self):
+        assert value_at(self.TRACE, 0.5) is None
+        assert value_at(self.TRACE, 1.0) == 100
+        assert value_at(self.TRACE, 5.0) == 90
+        assert value_at(self.TRACE, 100.0) == 80
+
+    def test_sample(self):
+        s = sample(self.TRACE, [0.5, 2.0, 10.0])
+        assert np.isnan(s[0])
+        assert s[1] == 100
+        assert s[2] == 80
+
+    def test_average_traces_ignores_missing(self):
+        t2 = [(2.0, 200)]
+        avg = average_traces([self.TRACE, t2], [1.5, 2.5])
+        assert avg[0] == 100       # only trace 1 exists at 1.5
+        assert avg[1] == 150       # mean(100, 200)
+
+    def test_time_to_target(self):
+        assert time_to_target(self.TRACE, 85) == 7.0
+        assert time_to_target(self.TRACE, 100) == 1.0
+        assert time_to_target(self.TRACE, 10) is None
+
+    def test_merge_min(self):
+        merged = merge_min([[(1.0, 100), (5.0, 70)], [(2.0, 80), (6.0, 75)]])
+        assert merged == [(1.0, 100), (2.0, 80), (5.0, 70)]
+
+
+class TestSpeedup:
+    def test_speedup_rows(self):
+        clk = [[(10.0, 100), (80.0, 50)]]
+        single = [[(5.0, 100), (40.0, 50)]]
+        multi = [[(1.0, 100), (2.0, 50)]]
+        rows = speedup_table(
+            [("0.0%", 50)], clk, single, multi, n_nodes=8
+        )
+        row = rows[0]
+        assert row.clk_vsec == 80.0
+        assert row.single_vsec == 40.0
+        assert row.multi_vsec == 2.0
+        assert row.factor_vs_clk == pytest.approx(80.0 / 16.0)
+        assert row.factor_vs_single == pytest.approx(40.0 / 16.0)
+
+    def test_unreached_levels_give_none(self):
+        rows = speedup_table([("x", 10)], [[(1.0, 100)]], [[(1.0, 100)]],
+                             [[(1.0, 100)]], n_nodes=4)
+        assert rows[0].clk_vsec is None
+        assert rows[0].factor_vs_clk is None
+
+    def test_time_to_quality_stats(self):
+        traces = [[(1.0, 50)], [(3.0, 50)], [(1.0, 99)]]
+        assert time_to_quality_stats(traces, 50) == pytest.approx(2.0)
+        assert time_to_quality_stats(traces, 1) is None
+
+
+class TestNormalization:
+    def test_factor_positive_and_applies(self):
+        f = measure_machine_factor(repeats=1)
+        assert f.factor > 0
+        assert f.apply(2.0) == pytest.approx(2.0 * f.factor)
+        out = normalize_times([1.0, 2.0], f)
+        assert out[1] == pytest.approx(2 * out[0])
+
+
+class TestReporting:
+    def test_fmt_pct(self):
+        assert fmt_pct(None) == "-"
+        assert fmt_pct(0.0) == "OPT"
+        assert fmt_pct(0.047) == "0.047%"
+
+    def test_fmt_time(self):
+        assert fmt_time(None) == "-"
+        assert fmt_time(3.14159) == "3.1"
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["bb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        out = format_series([1, 2], {"a": [10.0, 20.0], "b": [None, 5.0]})
+        assert "a" in out and "b" in out and "-" in out
+
+    def test_ascii_chart_renders(self):
+        out = ascii_chart([0, 1, 2], {"s": [3.0, 2.0, 1.0]}, width=20, height=5)
+        assert "*" in out
+        assert "s" in out
+
+    def test_ascii_chart_empty(self):
+        out = ascii_chart([0.0], {"s": [float("nan")]})
+        assert out == "(no data)"

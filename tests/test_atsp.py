@@ -1,0 +1,108 @@
+"""Tests for the ATSP symmetric embedding."""
+
+import numpy as np
+import pytest
+
+from repro.localsearch import chained_lk
+from repro.tsp.atsp import (
+    atsp_to_stsp,
+    atsp_tour_cost,
+    directed_tour_from_symmetric,
+)
+
+
+def _random_atsp(n, seed, max_cost=100):
+    rng = np.random.default_rng(seed)
+    c = rng.integers(1, max_cost, size=(n, n)).astype(np.int64)
+    np.fill_diagonal(c, 0)
+    return c
+
+
+def _exact_atsp(c):
+    """Brute-force directed optimum (tiny n)."""
+    from itertools import permutations
+
+    n = c.shape[0]
+    best = None
+    for perm in permutations(range(1, n)):
+        order = (0,) + perm
+        cost = atsp_tour_cost(c, np.array(order))
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+class TestEmbedding:
+    def test_embedding_shape_and_symmetry(self):
+        c = _random_atsp(6, 1)
+        inst, offset = atsp_to_stsp(c)
+        assert inst.n == 12
+        assert np.array_equal(inst.matrix, inst.matrix.T)
+        assert offset < 0  # n arcs carry the +shift each
+
+    def test_ghost_edges_zero(self):
+        c = _random_atsp(5, 2)
+        inst, _ = atsp_to_stsp(c)
+        for i in range(5):
+            assert inst.matrix[i, i + 5] == 0
+
+    def test_arc_costs_placed(self):
+        c = _random_atsp(5, 3)
+        inst, offset = atsp_to_stsp(c)
+        shift = -offset // 5
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    assert inst.matrix[i + 5, j] == c[i, j] + shift
+
+    def test_rejects_nonzero_diagonal(self):
+        c = np.ones((4, 4), dtype=int)
+        with pytest.raises(ValueError, match="diagonal"):
+            atsp_to_stsp(c)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            atsp_to_stsp(np.zeros((3, 4)))
+
+
+class TestSolveRoundTrip:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_clk_solves_atsp_to_optimality(self, seed):
+        c = _random_atsp(7, seed + 10)
+        opt = _exact_atsp(c)
+        inst, offset = atsp_to_stsp(c)
+        # The embedding's big-M edges make the landscape spiky; give the
+        # solver the known optimum as a target and a real budget.
+        res = chained_lk(
+            inst, budget_vsec=6.0, target_length=opt - offset, rng=seed,
+            lk_config=__import__("repro.localsearch", fromlist=["LKConfig"])
+            .LKConfig(neighbor_k=10, breadth=(6, 3)),
+        )
+        order = directed_tour_from_symmetric(res.tour, 7)
+        cost = atsp_tour_cost(c, order)
+        assert sorted(order.tolist()) == list(range(7))
+        assert cost == res.length + offset
+        # CLK on the embedding should find the directed optimum at n=7.
+        assert cost == opt
+
+    def test_infeasible_tour_detected(self):
+        c = _random_atsp(5, 4)
+        inst, _ = atsp_to_stsp(c)
+        from repro.tsp.tour import Tour
+
+        bad = Tour(inst, np.arange(10))  # 0..9: does not alternate
+        with pytest.raises(ValueError, match="does not encode"):
+            directed_tour_from_symmetric(bad, 5)
+
+    def test_asymmetry_matters(self):
+        # A matrix where direction changes the answer: going "with the
+        # grain" is cheap, against it expensive.
+        n = 6
+        c = np.full((n, n), 50, dtype=np.int64)
+        for i in range(n):
+            c[i, (i + 1) % n] = 1  # cheap forward ring
+        np.fill_diagonal(c, 0)
+        inst, offset = atsp_to_stsp(c)
+        res = chained_lk(inst, max_kicks=40, rng=0)
+        order = directed_tour_from_symmetric(res.tour, n)
+        assert atsp_tour_cost(c, order) == n  # the forward ring

@@ -1,0 +1,137 @@
+"""Tests for the backbone (partial reduction) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.core.backbone import ElitePool, backbone_edges, edge_counts
+from repro.localsearch import LinKernighan, LKConfig, chained_lk
+from repro.tsp import generators
+from repro.tsp.tour import Tour, random_tour
+
+
+class TestEdgeCounts:
+    def test_counts_shared_edges(self, small_instance):
+        t = Tour.identity(small_instance)
+        counts = edge_counts([t, t.copy()])
+        assert all(c == 2 for c in counts.values())
+        assert len(counts) == small_instance.n
+
+    def test_disjoint_tours(self, small_instance, rng):
+        a = Tour.identity(small_instance)
+        b = random_tour(small_instance, rng)
+        counts = edge_counts([a, b])
+        assert max(counts.values()) <= 2
+
+
+class TestBackboneEdges:
+    def test_full_support(self, small_instance, rng):
+        a = Tour.identity(small_instance)
+        bb = backbone_edges([a, a.copy(), a.copy()], min_support=1.0)
+        # Every tour edge, both orientations.
+        assert len(bb) == 2 * small_instance.n
+        assert all((b, a_) in bb for (a_, b) in bb)
+
+    def test_partial_support(self, small_instance, rng):
+        a = Tour.identity(small_instance)
+        b = random_tour(small_instance, rng)
+        strict = backbone_edges([a, a.copy(), b], min_support=1.0)
+        loose = backbone_edges([a, a.copy(), b], min_support=0.6)
+        assert strict <= loose
+
+    def test_too_few_tours_empty(self, small_instance):
+        assert backbone_edges([Tour.identity(small_instance)]) == set()
+
+    def test_bad_support_raises(self, small_instance):
+        a = Tour.identity(small_instance)
+        with pytest.raises(ValueError, match="min_support"):
+            backbone_edges([a, a.copy()], min_support=0.0)
+
+
+class TestElitePool:
+    def test_keeps_best(self, small_instance, rng):
+        pool = ElitePool(capacity=3)
+        tours = [random_tour(small_instance, rng) for _ in range(8)]
+        for t in tours:
+            pool.add(t)
+        kept = sorted(t.length for t in pool.tours())
+        best3 = sorted(t.length for t in tours)[:3]
+        assert kept == best3
+
+    def test_rejects_duplicates(self, small_instance):
+        pool = ElitePool(capacity=4)
+        t = Tour.identity(small_instance)
+        assert pool.add(t)
+        assert not pool.add(t.copy())
+        assert len(pool) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ElitePool(capacity=1)
+
+
+class TestFixedEdgesInLK:
+    def test_fixed_edges_never_broken(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        # Fix five arbitrary tour edges; LK must preserve them.
+        edges = list(t.edge_set())[:5]
+        fixed = set()
+        for a, b in edges:
+            fixed.add((a, b))
+            fixed.add((b, a))
+        engine = LinKernighan(small_instance)
+        engine.optimize(t, fixed=fixed)
+        assert t.is_valid()
+        remaining = t.edge_set()
+        for a, b in edges:
+            assert (a, b) in remaining, (a, b)
+
+    def test_fixed_all_edges_freezes_tour(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        fixed = set()
+        for a, b in t.edge_set():
+            fixed.add((a, b))
+            fixed.add((b, a))
+        engine = LinKernighan(small_instance)
+        gain = engine.optimize(t, fixed=fixed)
+        assert gain == 0
+
+    def test_backbone_speeds_up_lk(self):
+        """The extension's selling point: fixing a consensus backbone
+        reduces LK work on re-optimization."""
+        from repro.utils.work import WorkMeter
+
+        inst = generators.uniform(150, rng=5)
+        base = chained_lk(inst, max_kicks=10, rng=1).tour
+        # Backbone from perturbed near-optimal variants.
+        variants = [base]
+        for seed in range(3):
+            v = chained_lk(inst, max_kicks=3, rng=seed + 10).tour
+            variants.append(v)
+        bb = backbone_edges(variants, min_support=1.0)
+        engine = LinKernighan(inst)
+
+        def work_of(fixed):
+            t = random_tour(inst, np.random.default_rng(2))
+            m = WorkMeter()
+            engine.optimize(t, m, fixed=fixed)
+            return m.ops
+
+        assert work_of(bb) < work_of(None)
+
+
+class TestNodeIntegration:
+    def test_backbone_enabled_run_valid(self, small_instance):
+        res = solve(
+            small_instance, budget_vsec_per_node=0.5, n_nodes=4,
+            backbone_support=0.8, rng=0,
+        )
+        assert res.best_tour.is_valid()
+        assert res.best_length == res.best_tour.recompute_length()
+
+    def test_backbone_quality_not_catastrophic(self, clustered_instance):
+        plain = solve(clustered_instance, budget_vsec_per_node=0.6,
+                      n_nodes=4, rng=3)
+        fixed = solve(clustered_instance, budget_vsec_per_node=0.6,
+                      n_nodes=4, backbone_support=0.9, rng=3)
+        assert fixed.best_length <= plain.best_length * 1.05

@@ -1,0 +1,109 @@
+"""Tests for 1-trees, the Held-Karp bound, and exact solvers."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    brute_force,
+    held_karp_bound,
+    held_karp_exact,
+    minimum_one_tree,
+)
+from repro.tsp import generators
+
+
+class TestExact:
+    def test_dp_matches_brute_force(self):
+        for seed in range(5):
+            inst = generators.uniform(8, rng=seed)
+            dp, dp_order = held_karp_exact(inst)
+            bf, _ = brute_force(inst)
+            assert dp == bf
+            assert inst.tour_length(dp_order) == dp
+
+    def test_dp_on_clustered(self):
+        inst = generators.clustered(10, rng=1, n_clusters=3)
+        dp, order = held_karp_exact(inst)
+        bf, _ = brute_force(inst)
+        assert dp == bf
+        assert sorted(order.tolist()) == list(range(10))
+
+    def test_dp_on_explicit_matrix(self):
+        inst = generators.random_matrix(9, rng=2)
+        dp, order = held_karp_exact(inst)
+        bf, _ = brute_force(inst)
+        assert dp == bf
+
+    def test_size_limits(self):
+        inst = generators.uniform(25, rng=0)
+        with pytest.raises(ValueError, match="limited"):
+            held_karp_exact(inst)
+        with pytest.raises(ValueError, match="limited"):
+            brute_force(generators.uniform(12, rng=0))
+
+    def test_square_exact(self, square_instance):
+        opt, _ = brute_force(square_instance)
+        assert opt == 400
+
+
+class TestOneTree:
+    def test_structure(self, small_instance):
+        t = minimum_one_tree(small_instance)
+        n = small_instance.n
+        assert t.edges.shape == (n, 2)  # n-2 tree edges + 2 special
+        assert t.degrees.sum() == 2 * n
+        assert t.degrees[0] == 2  # special node always degree 2
+
+    def test_lower_bounds_optimum(self):
+        for seed in range(4):
+            inst = generators.uniform(10, rng=seed)
+            opt, _ = held_karp_exact(inst)
+            t = minimum_one_tree(inst)
+            assert t.bound <= opt + 1e-9
+
+    def test_penalties_shift_bound_not_above_opt(self):
+        inst = generators.uniform(10, rng=3)
+        opt, _ = held_karp_exact(inst)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            pi = rng.normal(0, 50, size=inst.n)
+            t = minimum_one_tree(inst, pi)
+            assert t.bound <= opt + 1e-6
+
+    def test_bad_pi_shape_raises(self, small_instance):
+        with pytest.raises(ValueError, match="shape"):
+            minimum_one_tree(small_instance, np.zeros(3))
+
+
+class TestHeldKarpAscent:
+    def test_improves_on_plain_one_tree(self):
+        inst = generators.uniform(30, rng=5)
+        plain = minimum_one_tree(inst).bound
+        ascent = held_karp_bound(inst, max_iterations=80).bound
+        assert ascent >= plain
+
+    def test_stays_below_optimum(self):
+        for seed in range(3):
+            inst = generators.uniform(11, rng=seed)
+            opt, _ = held_karp_exact(inst)
+            res = held_karp_bound(inst, max_iterations=120)
+            assert res.bound <= opt + 1e-6
+            # and should be tight-ish (HK bound typically within 1-2%)
+            assert res.bound >= 0.9 * opt
+
+    def test_tour_detection(self):
+        # Cities on a circle: the 1-tree of the optimal penalties is the tour.
+        angles = np.linspace(0, 2 * np.pi, 13)[:-1]
+        coords = 1000 * np.stack([np.cos(angles), np.sin(angles)], axis=1) + 2000
+        from repro.tsp.instance import TSPInstance
+
+        inst = TSPInstance(coords=coords)
+        res = held_karp_bound(inst, max_iterations=60)
+        opt, _ = held_karp_exact(inst)
+        assert res.bound >= 0.99 * opt
+
+    def test_result_fields(self, small_instance):
+        res = held_karp_bound(small_instance, max_iterations=10)
+        assert res.pi.shape == (small_instance.n,)
+        assert res.iterations <= 10
+        assert res.one_tree.degrees.sum() == 2 * small_instance.n

@@ -1,0 +1,60 @@
+"""Tests for the branch-and-bound exact solver."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import held_karp_exact
+from repro.bounds.branch_and_bound import branch_and_bound
+from repro.tsp import generators
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dp_uniform(self, seed):
+        inst = generators.uniform(13, rng=seed + 200)
+        opt, _ = held_karp_exact(inst)
+        res = branch_and_bound(inst)
+        assert res.length == opt
+        assert res.proven_optimal
+        assert inst.tour_length(res.order) == res.length
+
+    def test_matches_dp_with_bad_incumbent(self):
+        # Force real branching by seeding a terrible upper bound.
+        inst = generators.uniform(13, rng=55)
+        opt, _ = held_karp_exact(inst)
+        res = branch_and_bound(inst, initial_upper=3 * opt)
+        assert res.length == opt
+        assert res.proven_optimal
+
+    def test_matches_dp_clustered(self):
+        inst = generators.clustered(14, rng=9, n_clusters=3)
+        opt, _ = held_karp_exact(inst)
+        res = branch_and_bound(inst, initial_upper=2 * opt)
+        assert res.length == opt
+
+    def test_explicit_matrix(self):
+        inst = generators.random_matrix(10, rng=4)
+        opt, _ = held_karp_exact(inst)
+        res = branch_and_bound(inst)
+        assert res.length == opt
+
+    def test_beyond_dp_range(self):
+        """n=24: out of reach for the DP, fine for B&B; verify the
+        incumbent CLK tour is confirmed optimal or improved."""
+        inst = generators.uniform(24, rng=31)
+        res = branch_and_bound(inst, max_nodes=20_000)
+        assert res.proven_optimal
+        assert inst.tour_length(res.order) == res.length
+
+
+class TestNodeCap:
+    def test_cap_reports_not_proven(self):
+        inst = generators.grid_pcb(16, rng=2)
+        opt, _ = held_karp_exact(inst)
+        res = branch_and_bound(inst, initial_upper=3 * opt, max_nodes=1)
+        # With one node the incumbent may or may not be proven; the
+        # result must still be a valid tour no worse than the seed.
+        assert inst.tour_length(res.order) == res.length
+        assert res.length <= 3 * opt
+        if res.length > opt:
+            assert not res.proven_optimal

@@ -1,0 +1,92 @@
+"""Tests for the Chained LK driver (the ABCC-CLK baseline)."""
+
+import pytest
+
+from repro.bounds import held_karp_exact
+from repro.localsearch import ChainedLK, chained_lk
+from repro.tsp import generators
+from repro.utils.work import WorkMeter
+
+
+class TestRun:
+    def test_requires_stopping_criterion(self, small_instance):
+        solver = ChainedLK(small_instance, rng=0)
+        with pytest.raises(ValueError, match="stopping"):
+            solver.run()
+
+    def test_budget_respected_roughly(self, small_instance):
+        res = chained_lk(small_instance, budget_vsec=0.5, rng=1)
+        assert res.work_vsec >= 0.5  # ran to exhaustion
+        assert res.work_vsec < 1.5   # but did not blow through it
+        assert res.tour.is_valid()
+        assert res.length == res.tour.recompute_length()
+
+    def test_max_kicks_respected(self, small_instance):
+        res = chained_lk(small_instance, max_kicks=7, rng=2)
+        assert res.kicks == 7
+
+    def test_target_short_circuits(self):
+        inst = generators.uniform(12, rng=5)
+        opt, _ = held_karp_exact(inst)
+        res = chained_lk(inst, budget_vsec=5.0, target_length=opt, rng=0)
+        assert res.hit_target
+        assert res.length == opt
+        assert res.work_vsec < 5.0
+
+    def test_kicks_never_worsen_best(self, small_instance):
+        res = chained_lk(small_instance, max_kicks=30, rng=3)
+        lengths = [l for _, l in res.trace]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_trace_monotone_time(self, small_instance):
+        res = chained_lk(small_instance, max_kicks=30, rng=4)
+        times = [t for t, _ in res.trace]
+        assert times == sorted(times)
+
+    def test_deterministic(self, small_instance):
+        a = chained_lk(small_instance, max_kicks=10, rng=99)
+        b = chained_lk(small_instance, max_kicks=10, rng=99)
+        assert a.length == b.length
+        assert a.trace == b.trace
+
+    @pytest.mark.parametrize("kick", ["random", "geometric", "close", "random_walk"])
+    def test_all_kick_strategies(self, small_instance, kick):
+        res = chained_lk(small_instance, max_kicks=5, kick=kick, rng=6)
+        assert res.tour.is_valid()
+        assert res.length == res.tour.recompute_length()
+
+    def test_initial_tour_supplied(self, small_instance):
+        from repro.construct import nearest_neighbor
+
+        init = nearest_neighbor(small_instance, start=0)
+        res = chained_lk(small_instance, max_kicks=3, rng=0)
+        solver = ChainedLK(small_instance, rng=0)
+        res2 = solver.run(max_kicks=3, initial=init)
+        assert res2.tour.is_valid()
+        assert res2.length <= init.length
+
+    def test_improves_over_construction(self, small_instance):
+        from repro.construct import quick_boruvka
+
+        qb = quick_boruvka(small_instance)
+        res = chained_lk(small_instance, max_kicks=20, rng=1)
+        assert res.length < qb.length
+
+
+class TestStep:
+    def test_step_returns_candidate_without_mutating_best(self, small_instance):
+        solver = ChainedLK(small_instance, rng=0)
+        best = solver.initial_tour()
+        snapshot = best.order.copy()
+        meter = WorkMeter()
+        cand = solver.step(best, meter)
+        assert (best.order == snapshot).all()
+        assert cand.is_valid()
+        assert cand.length == cand.recompute_length()
+
+    def test_multi_kick_step(self, small_instance):
+        solver = ChainedLK(small_instance, rng=0)
+        best = solver.initial_tour()
+        cand = solver.step(best, WorkMeter(), n_kicks=4)
+        assert cand.is_valid()
+        assert cand.length == cand.recompute_length()

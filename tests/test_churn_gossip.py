@@ -1,0 +1,135 @@
+"""Tests for node churn and gossip dissemination (P2P extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.core.events import EventKind
+from repro.distributed.churn import ChurnEvent, make_schedule, validate_schedule
+from repro.tsp import generators
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return generators.clustered(60, rng=33)
+
+
+class TestSchedule:
+    def test_make_schedule_sorts(self):
+        sched = make_schedule([(2.0, "leave", 1), (1.0, "join", 8)])
+        assert sched[0].action == "join"
+        assert sched[1].action == "leave"
+
+    def test_invalid_action(self):
+        with pytest.raises(ValueError, match="action"):
+            ChurnEvent(1.0, "hibernate", 0)
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ChurnEvent(-1.0, "leave", 0)
+
+    def test_validate_join_id_range(self):
+        sched = make_schedule([(1.0, "join", 2)])
+        with pytest.raises(ValueError, match="outside"):
+            validate_schedule(sched, n_initial=4, n_total=5)
+
+    def test_validate_double_join(self):
+        sched = make_schedule([(1.0, "join", 4), (2.0, "join", 4)])
+        with pytest.raises(ValueError, match="twice"):
+            validate_schedule(sched, n_initial=4, n_total=5)
+
+    def test_validate_leave_unknown(self):
+        sched = make_schedule([(1.0, "leave", 7)])
+        with pytest.raises(ValueError, match="before it exists"):
+            validate_schedule(sched, n_initial=4, n_total=4)
+
+    def test_validate_all_leave(self):
+        sched = make_schedule([(1.0, "leave", 0), (1.0, "leave", 1)])
+        with pytest.raises(ValueError, match="alive"):
+            validate_schedule(sched, n_initial=2, n_total=2)
+
+
+class TestChurnRuns:
+    def test_leaves_stop_nodes(self, inst):
+        res = solve(
+            inst, budget_vsec_per_node=1.0, n_nodes=4,
+            churn=[(0.4, "leave", 2), (0.5, "leave", 3)], rng=0,
+        )
+        assert res.reasons[2] == "left"
+        assert res.reasons[3] == "left"
+        assert res.clocks[2] < 1.0
+        assert res.best_tour.is_valid()
+
+    def test_joiner_participates(self, inst):
+        res = solve(
+            inst, budget_vsec_per_node=1.2, n_nodes=4,
+            churn=[(0.3, "join", 4)], rng=1,
+        )
+        # The joiner (id 4) started late and did some work.
+        assert 4 in res.clocks
+        assert res.clocks[4] > 0.3
+        assert len(res.event_logs[4]) > 0
+        assert res.best_tour.is_valid()
+
+    def test_churned_run_still_competitive(self, inst):
+        static = solve(inst, budget_vsec_per_node=1.0, n_nodes=4, rng=5)
+        churned = solve(
+            inst, budget_vsec_per_node=1.0, n_nodes=4,
+            churn=[(0.4, "leave", 1), (0.5, "join", 4)], rng=5,
+        )
+        assert churned.best_length <= static.best_length * 1.05
+
+    def test_churn_requires_hypercube(self, inst):
+        with pytest.raises(ValueError, match="hypercube"):
+            solve(inst, budget_vsec_per_node=0.5, n_nodes=4,
+                  topology="ring", churn=[(0.3, "leave", 1)], rng=0)
+
+    def test_deterministic_with_churn(self, inst):
+        kwargs = dict(budget_vsec_per_node=0.8, n_nodes=4,
+                      churn=[(0.3, "leave", 2)], rng=9)
+        a = solve(inst, **kwargs)
+        b = solve(inst, **kwargs)
+        assert a.best_length == b.best_length
+        assert a.global_trace == b.global_trace
+
+
+class TestGossip:
+    def test_gossip_run_valid(self, inst):
+        res = solve(
+            inst, budget_vsec_per_node=1.0, n_nodes=8,
+            dissemination="gossip", gossip_fanout=2, rng=2,
+        )
+        assert res.best_tour.is_valid()
+        assert res.network_stats.messages > 0
+
+    def test_gossip_message_volume_matches_fanout(self, inst):
+        bcast = solve(inst, budget_vsec_per_node=1.0, n_nodes=8, rng=3)
+        gossip = solve(
+            inst, budget_vsec_per_node=1.0, n_nodes=8,
+            dissemination="gossip", gossip_fanout=1, rng=3,
+        )
+        # Hypercube broadcast sends 3 copies per improvement; fanout-1
+        # gossip sends 1 (tour messages only; notifications flood).
+        assert (
+            gossip.network_stats.tour_messages
+            < bcast.network_stats.tour_messages
+        )
+
+    def test_gossip_still_spreads_improvements(self):
+        # Needs an instance hard enough that improvements keep flowing
+        # after the initial phase (fl-class drilling plate).
+        inst = generators.drilling(120, rng=2)
+        res = solve(
+            inst, budget_vsec_per_node=2.0, n_nodes=8,
+            dissemination="gossip", gossip_fanout=3, rng=4,
+        )
+        received = sum(
+            len(log.of_kind(EventKind.RECEIVED_IMPROVEMENT))
+            for log in res.event_logs.values()
+        )
+        assert received > 0
+
+    def test_unknown_dissemination_rejected(self, inst):
+        with pytest.raises(ValueError, match="dissemination"):
+            solve(inst, budget_vsec_per_node=0.2, n_nodes=2,
+                  dissemination="carrier_pigeon", rng=0)

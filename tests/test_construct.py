@@ -1,0 +1,123 @@
+"""Tests for tour construction heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import held_karp_exact
+from repro.construct import (
+    christofides,
+    greedy_edge,
+    nearest_neighbor,
+    quick_boruvka,
+    space_filling,
+)
+from repro.construct.space_filling import hilbert_index
+from repro.tsp import generators
+
+CONSTRUCTORS = [quick_boruvka, nearest_neighbor, greedy_edge, space_filling,
+                christofides]
+
+
+class TestAllConstructors:
+    @pytest.mark.parametrize("ctor", CONSTRUCTORS)
+    def test_valid_tour(self, ctor, small_instance):
+        t = ctor(small_instance)
+        assert t.is_valid()
+        assert t.length == t.recompute_length()
+
+    @pytest.mark.parametrize("ctor", CONSTRUCTORS)
+    def test_not_catastrophic(self, ctor):
+        # Every constructor must beat 2x the exact optimum on tiny inputs
+        # (Christofides guarantees 1.5x; the others are greedy but sane).
+        inst = generators.uniform(12, rng=8)
+        opt, _ = held_karp_exact(inst)
+        t = ctor(inst)
+        assert t.length <= 2.0 * opt, ctor.__name__
+
+    @pytest.mark.parametrize("ctor", [quick_boruvka, greedy_edge, space_filling,
+                                      christofides])
+    def test_deterministic(self, ctor, small_instance):
+        a = ctor(small_instance)
+        b = ctor(small_instance)
+        assert np.array_equal(a.order, b.order)
+
+
+class TestQuickBoruvka:
+    def test_beats_random_by_far(self, small_instance, rng):
+        from repro.tsp.tour import random_tour
+
+        qb = quick_boruvka(small_instance)
+        rnd = np.mean(
+            [random_tour(small_instance, rng).length for _ in range(5)]
+        )
+        assert qb.length < 0.7 * rnd
+
+    def test_works_on_explicit(self, explicit_instance):
+        t = quick_boruvka(explicit_instance, rng=0)
+        assert t.is_valid()
+
+    def test_clustered(self, clustered_instance):
+        t = quick_boruvka(clustered_instance)
+        assert t.is_valid()
+
+
+class TestNearestNeighbor:
+    def test_start_city_respected(self, small_instance):
+        t = nearest_neighbor(small_instance, start=17)
+        assert t.order[0] == 17
+
+    def test_bad_start_raises(self, small_instance):
+        with pytest.raises(ValueError, match="out of range"):
+            nearest_neighbor(small_instance, start=10_000)
+
+    def test_greedy_first_step(self, small_instance):
+        t = nearest_neighbor(small_instance, start=0)
+        d_first = small_instance.dist(0, int(t.order[1]))
+        all_d = [small_instance.dist(0, j) for j in range(1, small_instance.n)]
+        assert d_first == min(all_d)
+
+
+class TestGreedyEdge:
+    def test_usually_beats_nearest_neighbor(self):
+        # Greedy edge matching dominates NN on average; allow one upset.
+        wins = 0
+        for seed in range(5):
+            inst = generators.uniform(80, rng=seed + 100)
+            if greedy_edge(inst).length <= nearest_neighbor(inst, start=0).length:
+                wins += 1
+        assert wins >= 4
+
+
+class TestSpaceFilling:
+    def test_hilbert_index_bijective_on_grid(self):
+        xs, ys = np.meshgrid(np.arange(8), np.arange(8))
+        idx = hilbert_index(xs.ravel(), ys.ravel(), order=3)
+        assert sorted(idx.tolist()) == list(range(64))
+
+    def test_hilbert_adjacent_cells_adjacent_indices(self):
+        # Consecutive curve indices are grid neighbours (curve continuity).
+        xs, ys = np.meshgrid(np.arange(8), np.arange(8))
+        xs, ys = xs.ravel(), ys.ravel()
+        idx = hilbert_index(xs, ys, order=3)
+        by_index = np.empty((64, 2), dtype=int)
+        by_index[idx] = np.stack([xs, ys], axis=1)
+        steps = np.abs(np.diff(by_index, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="range"):
+            hilbert_index(np.array([9]), np.array([0]), order=3)
+
+    def test_requires_coords(self, explicit_instance):
+        with pytest.raises(ValueError, match="coordinates"):
+            space_filling(explicit_instance)
+
+
+class TestChristofides:
+    def test_within_factor_1_5_of_optimum(self):
+        for seed in range(3):
+            inst = generators.uniform(11, rng=seed + 50)
+            opt, _ = held_karp_exact(inst)
+            t = christofides(inst)
+            # +1% slack for integer rounding of the metric
+            assert t.length <= 1.5 * opt * 1.01

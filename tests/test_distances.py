@@ -1,0 +1,125 @@
+"""Tests for TSPLIB distance functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tsp import distances as D
+
+
+class TestEuc2D:
+    def test_simple_345_triangle(self):
+        assert D.euc_2d(np.array([3.0]), np.array([4.0]))[0] == 5
+
+    def test_rounding_is_nint_not_bankers(self):
+        # sqrt gives 0.5 exactly: TSPLIB nint rounds up (floor(x+0.5)).
+        assert D.euc_2d(np.array([0.5]), np.array([0.0]))[0] == 1
+        assert D.euc_2d(np.array([1.5]), np.array([0.0]))[0] == 2
+
+    def test_zero_distance(self):
+        assert D.euc_2d(np.array([0.0]), np.array([0.0]))[0] == 0
+
+
+class TestCeil2D:
+    def test_rounds_up(self):
+        assert D.ceil_2d(np.array([1.0]), np.array([1.0]))[0] == 2  # sqrt2
+
+    def test_integer_stays(self):
+        assert D.ceil_2d(np.array([3.0]), np.array([4.0]))[0] == 5
+
+
+class TestMan2D:
+    def test_sum_of_abs(self):
+        assert D.man_2d(np.array([-3.0]), np.array([4.0]))[0] == 7
+
+
+class TestMax2D:
+    def test_max_norm(self):
+        assert D.max_2d(np.array([-3.0]), np.array([4.0]))[0] == 4
+
+
+class TestAtt:
+    def test_att_formula(self):
+        # dx=10, dy=0: r = sqrt(100/10) = sqrt(10) ~ 3.162; t = 3 < r -> 4
+        assert D.att(np.array([10.0]), np.array([0.0]))[0] == 4
+
+    def test_att_exact(self):
+        # dx*dx+dy*dy = 40 -> r = 2.0 exactly -> t = 2, not bumped
+        assert D.att(np.array([6.0]), np.array([2.0]))[0] == 2
+
+
+class TestGeo:
+    def test_symmetric(self):
+        a = np.array([52.30, 13.25])  # DDD.MM format
+        b = np.array([48.51, 2.21])
+        assert D.geo(a, b) == D.geo(b, a)
+
+    def test_zero_on_same_point_is_one(self):
+        # TSPLIB GEO adds 1.0 before truncation; same point -> 1.
+        a = np.array([50.0, 10.0])
+        assert D.geo(a, a) == 1
+
+
+class TestPairwiseMatrix:
+    @pytest.mark.parametrize("ewt", ["EUC_2D", "CEIL_2D", "MAN_2D", "MAX_2D", "ATT"])
+    def test_matches_closure(self, ewt, rng):
+        coords = rng.uniform(0, 1000, size=(25, 2))
+        m = D.pairwise_matrix(coords, ewt)
+        f = D.distance_closure(coords, ewt)
+        for i in range(25):
+            for j in range(25):
+                assert m[i, j] == f(i, j), (ewt, i, j)
+
+    def test_geo_matches_closure(self, rng):
+        coords = rng.uniform(-80, 80, size=(10, 2))
+        m = D.pairwise_matrix(coords, "GEO")
+        f = D.distance_closure(coords, "GEO")
+        for i in range(10):
+            for j in range(10):
+                if i != j:
+                    assert m[i, j] == f(i, j)
+
+    def test_symmetric_zero_diag(self, rng):
+        coords = rng.uniform(0, 100, size=(15, 2))
+        m = D.pairwise_matrix(coords, "EUC_2D")
+        assert np.array_equal(m, m.T)
+        assert np.all(np.diag(m) == 0)
+
+    def test_unknown_type_raises(self, rng):
+        coords = rng.uniform(0, 10, size=(4, 2))
+        with pytest.raises(ValueError, match="unsupported"):
+            D.pairwise_matrix(coords, "XRAY")
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            D.pairwise_matrix(np.zeros((4, 3)))
+
+
+class TestRowDistances:
+    def test_matches_matrix(self, rng):
+        coords = rng.uniform(0, 500, size=(20, 2))
+        m = D.pairwise_matrix(coords, "EUC_2D")
+        js = np.array([0, 5, 19, 3])
+        assert np.array_equal(D.row_distances(coords, 7, js), m[7, js])
+
+    def test_geo_rows(self, rng):
+        coords = rng.uniform(-60, 60, size=(8, 2))
+        m = D.pairwise_matrix(coords, "GEO")
+        js = np.arange(8)
+        rows = D.row_distances(coords, 2, js, "GEO")
+        mask = js != 2
+        assert np.array_equal(rows[mask], m[2, js[mask]])
+
+
+class TestTriangleInequality:
+    def test_euclidean_metric_holds(self, rng):
+        # Rounded Euclidean can violate by at most 1 per composition; the
+        # raw hypot values must satisfy the inequality exactly.
+        coords = rng.uniform(0, 1000, size=(12, 2))
+        m = D.pairwise_matrix(coords, "EUC_2D").astype(float)
+        n = len(coords)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert m[i, j] <= m[i, k] + m[k, j] + 1.0

@@ -1,0 +1,41 @@
+"""Tests for the event-log machinery."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, EventLog
+
+
+class TestEventLog:
+    def test_record_and_iterate(self):
+        log = EventLog(3)
+        log.record(1.0, EventKind.INITIAL_TOUR, 100)
+        log.record(2.0, EventKind.LOCAL_IMPROVEMENT, 90)
+        log.record(2.5, EventKind.BROADCAST, 90)
+        assert len(log) == 3
+        assert [e.kind for e in log] == [
+            EventKind.INITIAL_TOUR,
+            EventKind.LOCAL_IMPROVEMENT,
+            EventKind.BROADCAST,
+        ]
+
+    def test_of_kind(self):
+        log = EventLog(0)
+        log.record(1.0, EventKind.RESTART)
+        log.record(2.0, EventKind.RESTART)
+        log.record(3.0, EventKind.DONE, "budget")
+        assert len(log.of_kind(EventKind.RESTART)) == 2
+        assert log.of_kind(EventKind.DONE)[0].value == "budget"
+
+    def test_improvements_filters_kinds(self):
+        log = EventLog(1)
+        log.record(1.0, EventKind.INITIAL_TOUR, 100)
+        log.record(2.0, EventKind.PERTURBATION_STRENGTH, 2)
+        log.record(3.0, EventKind.RECEIVED_IMPROVEMENT, 95)
+        log.record(4.0, EventKind.LOCAL_IMPROVEMENT, 92)
+        imps = log.improvements()
+        assert imps == [(1.0, 100), (3.0, 95), (4.0, 92)]
+
+    def test_events_are_frozen(self):
+        e = Event(1.0, EventKind.DONE, "x")
+        with pytest.raises(AttributeError):
+            e.vsec = 2.0

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion.
+
+Marked slow; run with ``pytest -m slow`` (or no marker filter) to verify
+the examples stay in sync with the API.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+FAST = {"bootstrap_protocol.py", "tsplib_workflow.py", "quickstart.py"}
+
+
+@pytest.mark.parametrize("name", sorted(FAST))
+def test_fast_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(Path("examples") / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=Path(__file__).parent.parent,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(set(EXAMPLES) - FAST))
+def test_slow_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(Path("examples") / name)],
+        capture_output=True,
+        text=True,
+        timeout=1200,
+        cwd=Path(__file__).parent.parent,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_example_inventory_documented_in_readme():
+    readme = (Path(__file__).parent.parent / "README.md").read_text()
+    for name in EXAMPLES:
+        assert name.removesuffix(".py") in readme, (
+            f"examples/{name} missing from README table"
+        )

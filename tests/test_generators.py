@@ -1,0 +1,103 @@
+"""Tests for the synthetic instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.tsp import generators as G
+
+
+ALL_COORD_GENERATORS = [
+    G.uniform, G.clustered, G.drilling, G.grid_pcb, G.country, G.pla_rows
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("gen", ALL_COORD_GENERATORS)
+    def test_size_and_validity(self, gen):
+        inst = gen(80, rng=5)
+        assert inst.n == 80
+        assert inst.coords.shape == (80, 2)
+        assert np.all(np.isfinite(inst.coords))
+
+    @pytest.mark.parametrize("gen", ALL_COORD_GENERATORS)
+    def test_deterministic_per_seed(self, gen):
+        a = gen(50, rng=9)
+        b = gen(50, rng=9)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    @pytest.mark.parametrize("gen", ALL_COORD_GENERATORS)
+    def test_different_seeds_differ(self, gen):
+        a = gen(50, rng=1)
+        b = gen(50, rng=2)
+        assert not np.array_equal(a.coords, b.coords)
+
+    @pytest.mark.parametrize("gen", ALL_COORD_GENERATORS)
+    def test_no_duplicate_points(self, gen):
+        inst = gen(150, rng=3)
+        rounded = {tuple(np.round(c, 6)) for c in inst.coords}
+        assert len(rounded) == inst.n
+
+
+class TestStructure:
+    def test_clustered_is_clumpier_than_uniform(self):
+        # Mean nearest-neighbour distance is much smaller for clusters.
+        from scipy.spatial import cKDTree
+
+        u = G.uniform(300, rng=0)
+        c = G.clustered(300, rng=0, n_clusters=8, spread=0.02)
+        def mean_nn(inst):
+            t = cKDTree(inst.coords)
+            d, _ = t.query(inst.coords, k=2)
+            return d[:, 1].mean()
+        assert mean_nn(c) < 0.5 * mean_nn(u)
+
+    def test_drilling_has_equal_length_edges(self):
+        # Regular blocks create repeated nearest-neighbour distances.
+        inst = G.drilling(200, rng=1)
+        from scipy.spatial import cKDTree
+
+        t = cKDTree(inst.coords)
+        d, _ = t.query(inst.coords, k=2)
+        nn = np.round(d[:, 1], 3)
+        # The most common nearest-neighbour distance covers many cities.
+        _, counts = np.unique(nn, return_counts=True)
+        assert counts.max() >= 0.3 * inst.n
+
+    def test_grid_pcb_snapped_to_pitch(self):
+        inst = G.grid_pcb(150, rng=2, pitch=50.0)
+        # Most coordinates lie on the routing grid (dedupe may jitter a few).
+        on_grid = np.isclose(inst.coords % 50.0, 0.0).all(axis=1)
+        assert on_grid.mean() > 0.9
+
+    def test_pla_rows_uses_ceil_2d(self):
+        assert G.pla_rows(60, rng=0).edge_weight_type == "CEIL_2D"
+
+    def test_country_nonuniform_density(self):
+        # Cell-occupancy dispersion on a fixed grid is far higher for the
+        # country generator than for uniform points.
+        def dispersion(inst, cells=6):
+            lo = inst.coords.min(axis=0)
+            span = inst.coords.max(axis=0) - lo + 1e-9
+            ij = np.floor((inst.coords - lo) / span * cells).clip(0, cells - 1)
+            flat = (ij[:, 0] * cells + ij[:, 1]).astype(int)
+            counts = np.bincount(flat, minlength=cells * cells)
+            return counts.var() / max(counts.mean(), 1e-9)
+
+        c = dispersion(G.country(400, rng=4))
+        u = dispersion(G.uniform(400, rng=4))
+        assert c > 2.0 * u
+
+
+class TestRandomMatrix:
+    def test_symmetric_valid(self):
+        inst = G.random_matrix(20, rng=7)
+        assert inst.edge_weight_type == "EXPLICIT"
+        m = inst.matrix
+        assert np.array_equal(m, m.T)
+        assert np.all(np.diag(m) == 0)
+        off_diag = m[~np.eye(20, dtype=bool)]
+        assert off_diag.min() >= 1
+
+    def test_max_weight_respected(self):
+        inst = G.random_matrix(15, rng=1, max_weight=10)
+        assert inst.matrix.max() <= 10

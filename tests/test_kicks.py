@@ -1,0 +1,100 @@
+"""Tests for the double-bridge kick strategies."""
+
+import numpy as np
+import pytest
+
+from repro.localsearch.kicks import (
+    KICK_STRATEGIES,
+    apply_double_bridge,
+    close_kick,
+    geometric_kick,
+    get_kick,
+    random_kick,
+    random_walk_kick,
+)
+from repro.tsp.tour import random_tour
+
+
+ALL_KICKS = list(KICK_STRATEGIES.values())
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("kick", ALL_KICKS)
+    def test_returns_four_sorted_distinct_positions(self, kick, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        for _ in range(10):
+            pos = kick(t, rng)
+            assert len(pos) == 4
+            assert all(0 <= p < t.n for p in pos)
+            assert list(pos) == sorted(set(int(p) for p in pos))
+
+    def test_get_kick_lookup(self):
+        assert get_kick("random") is random_kick
+        assert get_kick("geometric") is geometric_kick
+        assert get_kick("close") is close_kick
+        assert get_kick("random_walk") is random_walk_kick
+
+    def test_get_kick_unknown(self):
+        with pytest.raises(KeyError, match="choices"):
+            get_kick("mega")
+
+    def test_geometric_kick_is_local(self, clustered_instance, rng):
+        # Geometric cuts should span a smaller coordinate range than random.
+        t = random_tour(clustered_instance, rng)
+        def spread(kick):
+            widths = []
+            for _ in range(30):
+                pos = kick(t, rng)
+                cities = t.order[np.asarray(pos)]
+                pts = clustered_instance.coords[cities]
+                widths.append(np.ptp(pts, axis=0).sum())
+            return np.median(widths)
+        assert spread(geometric_kick) < spread(random_kick)
+
+    def test_deterministic_given_rng(self, small_instance):
+        t = random_tour(small_instance, np.random.default_rng(0))
+        a = random_kick(t, np.random.default_rng(5))
+        b = random_kick(t, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestApplyDoubleBridge:
+    def test_valid_and_incremental_length(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        for _ in range(20):
+            pos = random_kick(t, rng)
+            touched = apply_double_bridge(t, pos)
+            assert t.is_valid()
+            assert t.length == t.recompute_length()
+            assert len(touched) == 8
+
+    def test_changes_exactly_four_edges(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        before = t.edge_set()
+        pos = random_kick(t, rng)
+        apply_double_bridge(t, pos)
+        diff = before ^ t.edge_set()
+        assert len(diff) == 8  # 4 removed + 4 added
+
+    def test_touched_cities_are_changed_edge_endpoints(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        before = t.edge_set()
+        touched = apply_double_bridge(t, random_kick(t, rng))
+        changed = before ^ t.edge_set()
+        endpoints = {c for e in changed for c in e}
+        assert endpoints <= set(touched)
+
+    def test_rejects_bad_positions(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        with pytest.raises(ValueError, match="sorted"):
+            apply_double_bridge(t, np.array([3, 3, 5, 9]))
+        with pytest.raises(ValueError, match="sorted"):
+            apply_double_bridge(t, np.array([5, 3, 9, 12]))
+
+    def test_not_reversible_by_single_2opt(self, small_instance, rng):
+        # DBM is a 4-exchange: the edge difference is 4, while a 2-opt
+        # changes exactly 2 edges.
+        t = random_tour(small_instance, rng)
+        before = t.edge_set()
+        apply_double_bridge(t, random_kick(t, rng))
+        assert len(before - t.edge_set()) == 4

@@ -1,0 +1,52 @@
+"""Tests for the multiprocessing backend (real parallelism).
+
+These run actual OS processes; budgets are kept tiny.  Only invariants
+are asserted — wall-clock runs are not reproducible by design.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.node import NodeConfig
+from repro.distributed.mp_backend import run_multiprocessing
+from repro.tsp import generators
+
+
+@pytest.mark.slow
+def test_two_process_run_produces_valid_tour():
+    inst = generators.uniform(40, rng=0)
+    res = run_multiprocessing(
+        inst,
+        budget_seconds=2.0,
+        n_nodes=2,
+        node_config=NodeConfig(inner_kicks=2),
+        topology="ring",
+        rng=0,
+    )
+    tour = res.tour(inst)
+    assert tour.is_valid()
+    assert tour.length == res.best_length == tour.recompute_length()
+    assert set(res.node_lengths) == {0, 1}
+    assert res.best_length == min(res.node_lengths.values())
+    assert all(r in ("budget", "optimum", "notified")
+               for r in res.reasons.values())
+
+
+@pytest.mark.slow
+def test_target_terminates_early():
+    from repro.bounds import held_karp_exact
+
+    inst = generators.uniform(12, rng=5)
+    opt, _ = held_karp_exact(inst)
+    res = run_multiprocessing(
+        inst,
+        budget_seconds=30.0,
+        n_nodes=2,
+        node_config=NodeConfig(inner_kicks=2, target_length=opt),
+        topology="ring",
+        rng=1,
+    )
+    assert res.best_length == opt
+    assert res.elapsed_seconds < 30.0

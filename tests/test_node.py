@@ -1,0 +1,148 @@
+"""Tests for the EA node (Figure 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.node import EANode, NodeConfig
+from repro.distributed.message import Message, MessageKind
+from repro.tsp import generators
+from repro.tsp.tour import random_tour
+
+
+@pytest.fixture
+def node(small_instance):
+    return EANode(0, small_instance, NodeConfig(inner_kicks=2), rng=0)
+
+
+def _bootstrap(node):
+    """First compute+select pair (initial tour)."""
+    work, cand = node.compute(budget_vsec=100.0)
+    out = node.select(cand, [])
+    return work, out
+
+
+class TestBootstrap:
+    def test_first_iteration_sets_best_and_broadcasts(self, node):
+        work, out = _bootstrap(node)
+        assert work > 0
+        assert node.s_best is not None
+        assert out.broadcast is node.s_best
+        kinds = [e.kind for e in node.events]
+        assert EventKind.INITIAL_TOUR in kinds
+        assert EventKind.BROADCAST in kinds
+
+
+class TestSelection:
+    def test_no_improvement_increments_counter(self, node, small_instance):
+        _bootstrap(node)
+        # Feed a candidate equal to the current best: tie -> no improvement.
+        out = node.select(node.s_best.copy(), [])
+        assert not out.improved
+        assert out.broadcast is None
+        assert node.num_no_improvements == 1
+
+    def test_received_better_tour_adopted_not_rebroadcast(self, node, small_instance):
+        _bootstrap(node)
+        better = node.s_best.copy()
+        # Make a strictly better tour by LK with bigger candidate lists.
+        from repro.localsearch import lin_kernighan, LKConfig
+
+        lin_kernighan(better, LKConfig(neighbor_k=16, breadth=(8, 4, 2)))
+        if better.length == node.s_best.length:
+            pytest.skip("instance already at engine optimum")
+        msg = Message(MessageKind.TOUR, sender=1, length=better.length,
+                      order=np.asarray(better.order))
+        worse_candidate = node.s_best.copy()
+        out = node.select(worse_candidate, [msg])
+        assert out.improved
+        assert out.broadcast is None  # received tours are not re-broadcast
+        assert node.s_best.length == better.length
+        assert node.num_no_improvements == 0
+        kinds = [e.kind for e in node.events]
+        assert EventKind.RECEIVED_IMPROVEMENT in kinds
+
+    def test_local_better_candidate_broadcast(self, node):
+        _bootstrap(node)
+        # Fabricate a strictly better local candidate by reusing best and
+        # pretending CLK improved it (simplest: shrink via real LK or skip).
+        cand = node.s_best.copy()
+        from repro.localsearch import lin_kernighan, LKConfig
+
+        lin_kernighan(cand, LKConfig(neighbor_k=16, breadth=(8, 4, 2)))
+        if cand.length == node.s_best.length:
+            pytest.skip("instance already at engine optimum")
+        out = node.select(cand, [])
+        assert out.improved and out.broadcast is cand
+
+    def test_optimum_notification_terminates(self, node):
+        _bootstrap(node)
+        msg = Message(MessageKind.OPTIMUM_FOUND, sender=3, length=1)
+        out = node.select(node.s_best.copy(), [msg])
+        assert out.done_reason == "notified"
+        assert node.done
+
+    def test_target_reached_terminates(self, small_instance):
+        node = EANode(
+            0, small_instance,
+            NodeConfig(inner_kicks=2, target_length=10**9), rng=0,
+        )
+        _, out = _bootstrap(node)
+        assert out.done_reason == "optimum"
+        assert node.done_reason == "optimum"
+
+
+class TestPerturbation:
+    def test_strength_grows_with_no_improvements(self, small_instance):
+        cfg = NodeConfig(inner_kicks=0, c_v=4, c_r=100)
+        node = EANode(0, small_instance, cfg, rng=1)
+        _bootstrap(node)
+        node.num_no_improvements = 9  # 9 // 4 + 1 = 3
+        from repro.utils.work import WorkMeter
+
+        tour, dirty = node._perturbate(WorkMeter())
+        assert node._last_strength == 3
+        assert tour.is_valid()
+        assert dirty  # kicked cities reported
+        kinds = [e.kind for e in node.events]
+        assert EventKind.PERTURBATION_STRENGTH in kinds
+
+    def test_restart_after_c_r(self, small_instance):
+        cfg = NodeConfig(inner_kicks=0, c_v=4, c_r=10)
+        node = EANode(0, small_instance, cfg, rng=1)
+        _bootstrap(node)
+        node.num_no_improvements = 11
+        from repro.utils.work import WorkMeter
+
+        tour, dirty = node._perturbate(WorkMeter())
+        assert dirty is None  # fresh construction, full LK queue
+        assert node.num_no_improvements == 0
+        assert EventKind.RESTART in [e.kind for e in node.events]
+
+    def test_counter_resets_on_improvement(self, node):
+        _bootstrap(node)
+        node.num_no_improvements = 5
+        better = node.s_best.copy()
+        from repro.localsearch import lin_kernighan, LKConfig
+
+        lin_kernighan(better, LKConfig(neighbor_k=16, breadth=(8, 4, 2)))
+        if better.length == node.s_best.length:
+            pytest.skip("instance already at engine optimum")
+        node.select(better, [])
+        assert node.num_no_improvements == 0
+
+
+class TestWorkBudget:
+    def test_compute_respects_budget(self, small_instance):
+        node = EANode(0, small_instance, NodeConfig(inner_kicks=50), rng=2)
+        work, cand = node.compute(budget_vsec=0.05)
+        assert work <= 0.3  # small overshoot allowed at move boundaries
+        assert cand.is_valid()
+
+    def test_stop_records_event(self, node):
+        _bootstrap(node)
+        node.stop("budget")
+        assert node.done_reason == "budget"
+        assert node.events.of_kind(EventKind.DONE)[0].value == "budget"
+        node.stop("other")  # idempotent: first reason wins
+        assert node.done_reason == "budget"

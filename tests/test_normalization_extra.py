@@ -1,0 +1,33 @@
+"""Extra coverage: DIMACS-style normalization and Table-2 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.normalization import (
+    NormalizationFactor,
+    measure_machine_factor,
+    normalize_times,
+)
+
+
+class TestNormalizationFactor:
+    def test_apply_is_linear(self):
+        f = NormalizationFactor(factor=2.5, local_seconds=0.5,
+                                reference_seconds=1.25)
+        assert f.apply(4.0) == pytest.approx(10.0)
+        out = normalize_times([1.0, 2.0, 4.0], f)
+        assert np.allclose(out, [2.5, 5.0, 10.0])
+
+    def test_measured_factor_consistency(self):
+        # factor * local == reference by construction.
+        f = measure_machine_factor(repeats=1)
+        assert f.factor * f.local_seconds == pytest.approx(
+            f.reference_seconds
+        )
+
+    def test_repeats_take_min(self):
+        # More repeats can only lower (or keep) the measured local time,
+        # hence raise (or keep) the factor; both must stay positive.
+        f1 = measure_machine_factor(repeats=1)
+        assert f1.local_seconds > 0
+        assert f1.factor > 0

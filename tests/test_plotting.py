@@ -1,0 +1,44 @@
+"""Tests for ASCII instance/tour plotting."""
+
+import pytest
+
+from repro.analysis import plot_instance, plot_tour
+from repro.localsearch import chained_lk
+from repro.tsp import generators
+from repro.tsp.tour import Tour
+
+
+class TestPlotInstance:
+    def test_dimensions(self, small_instance):
+        out = plot_instance(small_instance, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 11  # header + grid
+        assert all(len(line) <= 40 for line in lines[1:])
+
+    def test_city_glyphs_present(self, small_instance):
+        out = plot_instance(small_instance)
+        assert out.count("o") >= 1
+        assert small_instance.name in out
+
+    def test_requires_coords(self, explicit_instance):
+        with pytest.raises(ValueError, match="coordinates"):
+            plot_instance(explicit_instance)
+
+
+class TestPlotTour:
+    def test_renders_edges_and_cities(self, small_instance):
+        res = chained_lk(small_instance, max_kicks=3, rng=0)
+        out = plot_tour(res.tour, width=50, height=12)
+        assert "." in out  # edges drawn
+        assert "o" in out
+        assert str(res.length) in out
+
+    def test_degenerate_collinear(self):
+        import numpy as np
+        from repro.tsp.instance import TSPInstance
+
+        coords = np.stack([np.arange(10) * 10.0, np.zeros(10)], axis=1)
+        inst = TSPInstance(coords=coords)
+        t = Tour.identity(inst)
+        out = plot_tour(t, width=30, height=5)
+        assert "o" in out

@@ -1,0 +1,76 @@
+"""Tests for the testbed registry."""
+
+import pytest
+
+from repro.tsp import registry
+
+
+class TestTestbed:
+    def test_all_entries_materialize(self):
+        for entry in registry.testbed():
+            inst = registry.get_instance(entry.name)
+            assert inst.n == entry.n
+            assert entry.paper_name in inst.comment
+
+    def test_lookup_by_paper_name(self):
+        a = registry.get_instance("fl3795")
+        b = registry.get_instance("fl300")
+        assert a is b
+
+    def test_instances_cached(self):
+        assert registry.get_instance("E100") is registry.get_instance("E100")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown testbed"):
+            registry.get_instance("atlantis99")
+
+    def test_size_class_filter(self):
+        small = registry.testbed("small")
+        large = registry.testbed("large")
+        assert small and large
+        assert len(small) + len(large) == len(registry.testbed())
+        assert all(e.size_class == "small" for e in small)
+
+    def test_unique_names(self):
+        names = [e.name for e in registry.testbed()]
+        papers = [e.paper_name for e in registry.testbed()]
+        assert len(set(names)) == len(names)
+        assert len(set(papers)) == len(papers)
+
+    def test_deterministic_regeneration(self):
+        entry = registry.testbed()[0]
+        a = entry.make()
+        b = entry.make()
+        import numpy as np
+
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+
+class TestBestKnownCache:
+    def test_best_known_returns_int_or_none(self):
+        for entry in registry.testbed():
+            bk = registry.best_known(entry.name)
+            assert bk is None or (isinstance(bk, int) and bk > 0)
+
+    def test_hk_bound_below_best_known(self):
+        # Whenever both are cached, HK bound must lower-bound best-known.
+        for entry in registry.testbed():
+            bk = registry.best_known(entry.name)
+            hk = registry.hk_bound(entry.name)
+            if bk is not None and hk is not None:
+                assert hk <= bk * 1.000001, entry.name
+
+    def test_save_merges_keeping_better(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(registry, "data_path", lambda: tmp_path)
+        registry._best_known_cache = None
+        registry.save_best_known({"X": {"length": 100, "source": "a"}})
+        registry.save_best_known({"X": {"length": 120}})  # worse: ignored
+        assert registry.best_known("X") == 100
+        registry.save_best_known({"X": {"length": 90}})  # better: kept
+        assert registry.best_known("X") == 90
+        registry.save_best_known({"X": {"hk_bound": 80.0}})
+        assert registry.hk_bound("X") == 80.0
+        registry.save_best_known({"X": {"hk_bound": 70.0}})  # worse bound
+        assert registry.hk_bound("X") == 80.0
+        # Reset module cache for other tests.
+        registry._best_known_cache = None

@@ -1,0 +1,88 @@
+"""Tests for run persistence (save/load of experiment results)."""
+
+import pytest
+
+from repro.analysis.runio import load_run, save_run
+from repro.core import solve
+from repro.localsearch import chained_lk
+from repro.tsp import generators
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return generators.uniform(40, rng=50)
+
+
+class TestClkRoundTrip:
+    def test_roundtrip(self, inst, tmp_path):
+        res = chained_lk(inst, max_kicks=8, rng=1)
+        path = tmp_path / "clk.json"
+        save_run(res, path, instance_name=inst.name)
+        back = load_run(path, inst)
+        assert back.length == res.length
+        assert back.trace == [(float(t), int(l)) for t, l in res.trace]
+        assert back.kicks == res.kicks
+        assert back.tour.is_valid()
+
+    def test_wrong_instance_rejected(self, inst, tmp_path):
+        res = chained_lk(inst, max_kicks=3, rng=2)
+        path = tmp_path / "clk.json"
+        save_run(res, path)
+        other = generators.uniform(40, rng=51)
+        with pytest.raises(ValueError, match="wrong instance"):
+            load_run(path, other)
+
+
+class TestDistributedRoundTrip:
+    def test_roundtrip(self, inst, tmp_path):
+        res = solve(inst, budget_vsec_per_node=0.3, n_nodes=2,
+                    topology="ring", rng=3)
+        path = tmp_path / "dist.json"
+        save_run(res, path, instance_name=inst.name)
+        back = load_run(path, inst)
+        assert back.best_length == res.best_length
+        assert back.global_trace == [
+            (float(t), int(l)) for t, l in res.global_trace
+        ]
+        assert back.reasons == res.reasons
+        assert back.network_stats.broadcasts == res.network_stats.broadcasts
+        # Event logs round-trip with kinds and timestamps.
+        for nid, log in res.event_logs.items():
+            loaded = back.event_logs[nid]
+            assert [(e.vsec, e.kind, e.value) for e in log] == [
+                (e.vsec, e.kind, e.value) for e in loaded
+            ]
+        # time_to_quality works on the loaded object.
+        assert back.time_to_quality(res.best_length) is not None
+
+    def test_unknown_type_rejected(self, inst, tmp_path):
+        with pytest.raises(TypeError, match="serialize"):
+            save_run({"not": "a result"}, tmp_path / "x.json")
+
+    def test_bad_format_version(self, inst, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99, "type": "clk"}')
+        with pytest.raises(ValueError, match="format"):
+            load_run(path, inst)
+
+
+class TestStats:
+    def test_instance_stats_classes(self):
+        from repro.tsp.stats import instance_stats
+
+        drill = instance_stats(generators.drilling(150, rng=1))
+        unif = instance_stats(generators.uniform(150, rng=1))
+        clust = instance_stats(generators.clustered(150, rng=1, spread=0.02))
+        assert drill.nn_mode_share > unif.nn_mode_share
+        assert clust.dispersion > unif.dispersion
+        assert "drilling" in drill.guessed_class
+        assert "uniform" in unif.guessed_class
+        assert "clustered" in clust.guessed_class
+
+    def test_explicit_instance_stats(self, explicit_instance):
+        from repro.tsp.stats import instance_stats
+
+        s = instance_stats(explicit_instance)
+        assert s.n == explicit_instance.n
+        assert s.bbox == (0.0, 0.0)
+        assert s.format()  # renders without error

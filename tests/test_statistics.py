@@ -1,0 +1,65 @@
+"""Tests for the statistical comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    bootstrap_mean_ci,
+    compare_runs,
+    paired_compare,
+)
+
+
+class TestCompareRuns:
+    def test_clear_difference_significant(self):
+        a = [100, 101, 99, 100, 102, 98]
+        b = [120, 121, 119, 122, 118, 120]
+        cmp = compare_runs(a, b)
+        assert cmp.significant
+        assert cmp.effect < 0  # A better
+        assert "Mann-Whitney" in cmp.summary("clk", "dist")
+
+    def test_identical_not_significant(self):
+        cmp = compare_runs([5, 5, 5], [5, 5, 5])
+        assert cmp.p_value == 1.0
+        assert not cmp.significant
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError, match="two runs"):
+            compare_runs([1], [2, 3])
+
+
+class TestPairedCompare:
+    def test_consistent_pairs_significant(self):
+        a = [100, 110, 105, 98, 107, 103]
+        b = [x + 5 for x in a]
+        cmp = paired_compare(a, b)
+        assert cmp.effect == pytest.approx(-5.0)
+        assert cmp.significant
+
+    def test_zero_diffs(self):
+        cmp = paired_compare([7, 7, 7], [7, 7, 7])
+        assert cmp.p_value == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="paired"):
+            paired_compare([1, 2], [1, 2, 3])
+
+
+class TestBootstrap:
+    def test_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        vals = rng.normal(100, 5, size=30)
+        lo, hi = bootstrap_mean_ci(vals, rng=1)
+        assert lo < vals.mean() < hi
+        assert hi - lo < 10  # reasonably tight at n=30
+
+    def test_deterministic_with_seed(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean_ci(vals, rng=7) == bootstrap_mean_ci(vals, rng=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_mean_ci([1, 2], confidence=1.5)
+        with pytest.raises(ValueError, match="two values"):
+            bootstrap_mean_ci([1])

@@ -1,0 +1,83 @@
+"""Tests for the 3-opt local search."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import held_karp_exact
+from repro.localsearch import three_opt, two_opt
+from repro.tsp import generators
+from repro.tsp.tour import random_tour
+from repro.utils.work import WorkMeter
+
+
+class TestThreeOpt:
+    def test_valid_and_consistent(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        before = t.length
+        gain = three_opt(t)
+        assert t.is_valid()
+        assert t.length == t.recompute_length() == before - gain
+        assert gain > 0
+
+    def test_never_worse_than_two_opt_start(self, rng):
+        # From the same start, 3-opt's result is at least 2-opt's.
+        wins = 0
+        for seed in range(5):
+            inst = generators.uniform(60, rng=seed + 30)
+            start = random_tour(inst, np.random.default_rng(seed))
+            t3 = start.copy()
+            t2 = start.copy()
+            three_opt(t3)
+            two_opt(t2)
+            wins += t3.length <= t2.length
+        assert wins >= 4
+
+    def test_finds_optimum_small(self):
+        inst = generators.uniform(10, rng=77)
+        opt, _ = held_karp_exact(inst)
+        t = random_tour(inst, np.random.default_rng(0))
+        three_opt(t, neighbor_k=9)
+        assert t.length == opt
+
+    def test_finds_segment_exchange(self):
+        """A pure segment reorder (type 4) that 2-opt cannot express
+        without intermediate worsening."""
+        from repro.tsp.instance import TSPInstance
+
+        # Three tight clusters on a line; the tour visits them in the
+        # wrong order (A C B); only a segment exchange fixes it cheaply.
+        a = np.array([[0, 0], [0, 10], [10, 0], [10, 10]], dtype=float)
+        b = a + [5000, 0]
+        c = a + [10000, 0]
+        coords = np.vstack([a, c, b])  # note: C before B
+        inst = TSPInstance(coords=coords)
+        t = random_tour(inst, np.random.default_rng(3))
+        three_opt(t, neighbor_k=11)
+        two = random_tour(inst, np.random.default_rng(3))
+        two_opt(two, neighbor_k=11)
+        assert t.length <= two.length
+        assert t.is_valid() and t.length == t.recompute_length()
+
+    def test_idempotent(self, small_instance, rng):
+        t = random_tour(small_instance, rng)
+        three_opt(t)
+        assert three_opt(t) == 0
+
+    def test_tiny_instance_noop(self):
+        inst = generators.uniform(5, rng=0)
+        t = random_tour(inst, np.random.default_rng(0))
+        assert three_opt(t) == 0
+
+    def test_budget_interruptible(self, rng):
+        inst = generators.uniform(150, rng=8)
+        t = random_tour(inst, rng)
+        meter = WorkMeter(budget_ops=1500)
+        three_opt(t, meter=meter)
+        assert t.is_valid()
+        assert t.length == t.recompute_length()
+
+    def test_explicit_instance(self, explicit_instance, rng):
+        t = random_tour(explicit_instance, rng)
+        three_opt(t, neighbor_k=6)
+        assert t.is_valid()
+        assert t.length == t.recompute_length()

@@ -1,0 +1,25 @@
+"""Smoke test for the tournament script's machinery (tiny budgets)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "scripts"))
+
+
+@pytest.mark.slow
+def test_tournament_runs_and_reports():
+    from tournament import report, run_tournament
+
+    from repro.tsp import generators
+
+    inst = generators.uniform(50, rng=12)
+    results = run_tournament(inst, budget=1.0, runs=2, rng=0)
+    assert set(results) == {
+        "ABCC-CLK", "DistCLK-8", "DistCLK-1", "LKH-style", "MLC-LK", "TM-CLK",
+    }
+    assert all(len(v) == 2 for v in results.values())
+    text = report(results)
+    assert "tournament" in text
+    assert "DistCLK-8" in text

@@ -1,0 +1,175 @@
+"""Tests for the TSPLIB parser/writer."""
+
+import numpy as np
+import pytest
+
+from repro.tsp import tsplib
+from repro.tsp.tour import Tour
+
+SAMPLE_EUC = """\
+NAME : demo5
+TYPE : TSP
+COMMENT : five cities
+DIMENSION : 5
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0.0 0.0
+2 10.0 0.0
+3 10.0 10.0
+4 0.0 10.0
+5 5.0 5.0
+EOF
+"""
+
+SAMPLE_FULL_MATRIX = """\
+NAME: m4
+TYPE: TSP
+DIMENSION: 4
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 2 4 6
+2 0 3 5
+4 3 0 7
+6 5 7 0
+EOF
+"""
+
+SAMPLE_UPPER_ROW = """\
+NAME: u4
+TYPE: TSP
+DIMENSION: 4
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_ROW
+EDGE_WEIGHT_SECTION
+2 4 6
+3 5
+7
+EOF
+"""
+
+SAMPLE_LOWER_DIAG = """\
+NAME: l4
+TYPE: TSP
+DIMENSION: 4
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0
+2 0
+4 3 0
+6 5 7 0
+EOF
+"""
+
+
+class TestParse:
+    def test_euc2d_roundtrip_fields(self):
+        inst = tsplib.loads(SAMPLE_EUC)
+        assert inst.name == "demo5"
+        assert inst.n == 5
+        assert inst.edge_weight_type == "EUC_2D"
+        assert inst.comment == "five cities"
+        assert inst.dist(0, 1) == 10
+
+    def test_full_matrix(self):
+        inst = tsplib.loads(SAMPLE_FULL_MATRIX)
+        assert inst.n == 4
+        assert inst.dist(0, 3) == 6
+        assert inst.dist(1, 2) == 3
+
+    def test_upper_row_equals_full(self):
+        a = tsplib.loads(SAMPLE_FULL_MATRIX)
+        b = tsplib.loads(SAMPLE_UPPER_ROW)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_lower_diag_equals_full(self):
+        a = tsplib.loads(SAMPLE_FULL_MATRIX)
+        b = tsplib.loads(SAMPLE_LOWER_DIAG)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_unsorted_node_labels(self):
+        text = SAMPLE_EUC.replace(
+            "1 0.0 0.0\n2 10.0 0.0", "2 10.0 0.0\n1 0.0 0.0"
+        )
+        inst = tsplib.loads(text)
+        assert inst.coords[0, 0] == 0.0  # city labelled 1 first
+
+    def test_rejects_atsp(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            tsplib.loads(SAMPLE_EUC.replace("TYPE : TSP", "TYPE : ATSP"))
+
+    def test_missing_section_raises(self):
+        bad = "NAME: x\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EUC_2D\nEOF\n"
+        with pytest.raises(ValueError, match="NODE_COORD_SECTION"):
+            tsplib.loads(bad)
+
+    def test_token_count_mismatch_raises(self):
+        bad = SAMPLE_EUC.replace("5 5.0 5.0\n", "")
+        with pytest.raises(ValueError, match="tokens"):
+            tsplib.loads(bad)
+
+
+class TestRoundTrip:
+    def test_coords_roundtrip(self, small_instance, tmp_path):
+        path = tmp_path / "x.tsp"
+        tsplib.dump(small_instance, path)
+        back = tsplib.load(path)
+        assert back.n == small_instance.n
+        assert back.edge_weight_type == small_instance.edge_weight_type
+        np.testing.assert_allclose(back.coords, small_instance.coords, atol=1e-5)
+
+    def test_explicit_roundtrip(self, explicit_instance, tmp_path):
+        path = tmp_path / "m.tsp"
+        tsplib.dump(explicit_instance, path)
+        back = tsplib.load(path)
+        assert np.array_equal(back.matrix, explicit_instance.matrix)
+
+    def test_tour_roundtrip(self, small_instance, tmp_path, rng):
+        from repro.tsp.tour import random_tour
+
+        t = random_tour(small_instance, rng)
+        path = tmp_path / "t.tour"
+        tsplib.dump_tour(t, path)
+        back = tsplib.load_tour(path, small_instance)
+        assert isinstance(back, Tour)
+        assert np.array_equal(back.order, t.order)
+
+    def test_tour_without_instance_returns_order(self, small_instance, tmp_path, rng):
+        from repro.tsp.tour import random_tour
+
+        t = random_tour(small_instance, rng)
+        path = tmp_path / "t.tour"
+        tsplib.dump_tour(t, path)
+        order = tsplib.load_tour(path)
+        assert np.array_equal(order, t.order)
+
+
+SAMPLE_UPPER_COL = (
+    "NAME: uc4\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+    "EDGE_WEIGHT_FORMAT: UPPER_COL\nEDGE_WEIGHT_SECTION\n"
+    "2\n4 3\n6 5 7\nEOF\n"
+)
+
+SAMPLE_LOWER_DIAG_COL = (
+    "NAME: lc4\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+    "EDGE_WEIGHT_FORMAT: LOWER_DIAG_COL\nEDGE_WEIGHT_SECTION\n"
+    "0 2 4 6\n0 3 5\n0 7\n0\nEOF\n"
+)
+
+
+class TestColumnFormats:
+    def test_upper_col_equals_full(self):
+        a = tsplib.loads(SAMPLE_FULL_MATRIX)
+        b = tsplib.loads(SAMPLE_UPPER_COL)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_lower_diag_col_equals_full(self):
+        a = tsplib.loads(SAMPLE_FULL_MATRIX)
+        b = tsplib.loads(SAMPLE_LOWER_DIAG_COL)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_unsupported_format_raises(self):
+        bad = SAMPLE_UPPER_COL.replace("UPPER_COL", "SPIRAL")
+        with pytest.raises(ValueError, match="EDGE_WEIGHT_FORMAT"):
+            tsplib.loads(bad)

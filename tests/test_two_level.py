@@ -1,0 +1,160 @@
+"""Tests for the two-level doubly-linked tour representation.
+
+The key property: driven through any flip sequence, the two-level tour
+stays on the same cyclic tour as an explicitly-oriented reference (a
+plain order array whose slice ``i..j`` is reversed verbatim — the array
+``Tour``'s shorter-side optimization may flip traversal direction, which
+is fine for cycles but would make naive "flip from city a to city b"
+cross-driving ambiguous).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.tsp import generators
+from repro.tsp.tour import Tour
+from repro.tsp.two_level import TwoLevelTour
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return generators.uniform(40, rng=17)
+
+
+def edge_set(order):
+    order = np.asarray(order)
+    nxt = np.roll(order, -1)
+    return {(min(a, b), max(a, b)) for a, b in zip(order.tolist(), nxt.tolist())}
+
+
+def reverse_exact(order: np.ndarray, i: int, j: int) -> np.ndarray:
+    """Reverse positions i..j inclusive (cyclic, exact — no shorter-side
+    trick), returning a new array."""
+    n = len(order)
+    out = order.copy()
+    idx = [(i + k) % n for k in range(((j - i) % n) + 1)]
+    vals = [order[p] for p in idx]
+    for p, v in zip(idx, reversed(vals)):
+        out[p] = v
+    return out
+
+
+class TestBasics:
+    def test_construction_and_order(self, inst):
+        order = np.random.default_rng(0).permutation(inst.n)
+        t = TwoLevelTour(inst, order)
+        assert t.is_valid()
+        assert np.array_equal(t.order_array(), order)
+        assert t.length == inst.tour_length(order)
+
+    def test_rejects_non_permutation(self, inst):
+        with pytest.raises(ValueError, match="permutation"):
+            TwoLevelTour(inst, np.zeros(inst.n, dtype=int))
+
+    def test_next_prev_match_array_tour(self, inst):
+        order = np.random.default_rng(1).permutation(inst.n)
+        ref = Tour(inst, order)
+        t = TwoLevelTour(inst, order)
+        for c in range(inst.n):
+            assert t.next(c) == ref.next(c)
+            assert t.prev(c) == ref.prev(c)
+
+    def test_between_matches_array_tour(self, inst):
+        order = np.random.default_rng(2).permutation(inst.n)
+        ref = Tour(inst, order)
+        t = TwoLevelTour(inst, order)
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            a, b, c = rng.choice(inst.n, size=3, replace=False)
+            assert t.between(int(a), int(b), int(c)) == ref.between(
+                int(a), int(b), int(c)
+            )
+
+
+class TestFlip:
+    def _drive(self, inst, seed, steps):
+        """Apply identical oriented flips to both representations."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(inst.n)
+        ref = order.copy()
+        t = TwoLevelTour(inst, order)
+        for _ in range(steps):
+            i, j = (int(x) for x in rng.choice(inst.n, size=2, replace=False))
+            a, b = int(ref[i]), int(ref[j])
+            ref = reverse_exact(ref, i, j)
+            t.flip(a, b)
+            assert t.is_valid()
+            assert np.array_equal(t.order_array(),
+                                  np.asarray(ref)) or (
+                edge_set(t.order_array()) == edge_set(ref)
+            )
+        return ref, t
+
+    def test_single_flip(self, inst):
+        order = np.arange(inst.n)
+        t = TwoLevelTour(inst, order)
+        ref = reverse_exact(order, 5, 20)
+        t.flip(5, 20)
+        assert t.is_valid()
+        assert np.array_equal(t.order_array(), ref)
+
+    def test_wrapping_flip(self, inst):
+        order = np.arange(inst.n)
+        t = TwoLevelTour(inst, order)
+        n = inst.n
+        ref = reverse_exact(order, n - 3, 4)
+        t.flip(n - 3, 4)
+        assert t.is_valid()
+        assert edge_set(t.order_array()) == edge_set(ref)
+
+    def test_full_tour_flip_is_identity_cycle(self, inst):
+        order = np.arange(inst.n)
+        t = TwoLevelTour(inst, order)
+        before = edge_set(t.order_array())
+        t.flip(0, inst.n - 1)
+        assert t.is_valid()
+        assert edge_set(t.order_array()) == before
+
+    def test_noop_flip(self, inst):
+        t = TwoLevelTour(inst, np.arange(inst.n))
+        before = edge_set(t.order_array())
+        t.flip(7, 7)
+        assert edge_set(t.order_array()) == before
+
+    def test_many_flips_trigger_rebuild(self, inst):
+        ref, t = self._drive(inst, seed=9, steps=80)
+        assert edge_set(t.order_array()) == edge_set(ref)
+
+    def test_adjacent_cities_flip(self, inst):
+        order = np.arange(inst.n)
+        t = TwoLevelTour(inst, order)
+        ref = reverse_exact(order, 10, 11)
+        t.flip(10, 11)
+        assert edge_set(t.order_array()) == edge_set(ref)
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(10, 60))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_flip_equivalence(seed, n):
+    """Random oriented flip sequences keep both structures on one cycle."""
+    rng = np.random.default_rng(seed)
+    inst = generators.uniform(n, rng=seed % 1000)
+    order = rng.permutation(n)
+    ref = order.copy()
+    t = TwoLevelTour(inst, order)
+    for _ in range(12):
+        i, j = (int(x) for x in rng.choice(n, size=2, replace=False))
+        a, b = int(ref[i]), int(ref[j])
+        ref = reverse_exact(ref, i, j)
+        t.flip(a, b)
+    assert t.is_valid()
+    assert edge_set(t.order_array()) == edge_set(ref)
+    # next() walks the whole cycle.
+    start = int(ref[0])
+    seq = [start]
+    for _ in range(n - 1):
+        seq.append(t.next(seq[-1]))
+    assert set(seq) == set(range(n))

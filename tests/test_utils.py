@@ -1,0 +1,68 @@
+"""Tests for RNG plumbing and the work meter."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.work import OPS_PER_VSEC, WorkMeter
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_deterministic(self):
+        a = ensure_rng(5).integers(1000)
+        b = ensure_rng(5).integers(1000)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(ss), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_independent_and_deterministic(self):
+        kids_a = spawn_rngs(3, 4)
+        kids_b = spawn_rngs(3, 4)
+        vals_a = [g.integers(10**9) for g in kids_a]
+        vals_b = [g.integers(10**9) for g in kids_b]
+        assert vals_a == vals_b
+        assert len(set(vals_a)) == 4  # distinct streams
+
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+
+class TestWorkMeter:
+    def test_tick_and_vsec(self):
+        m = WorkMeter()
+        m.tick(int(OPS_PER_VSEC))
+        assert m.vsec == pytest.approx(1.0)
+
+    def test_budget_exhaustion(self):
+        m = WorkMeter(budget_ops=10)
+        assert not m.exhausted()
+        m.tick(10)
+        assert m.exhausted()
+        assert m.remaining_ops() == 0
+
+    def test_unbudgeted_never_exhausts(self):
+        m = WorkMeter()
+        m.tick(10**9)
+        assert not m.exhausted()
+        assert m.remaining_ops() == float("inf")
+
+    def test_vsec_budget_constructor(self):
+        m = WorkMeter.with_vsec_budget(2.0)
+        assert m.budget_ops == pytest.approx(2.0 * OPS_PER_VSEC)
+
+    def test_reset(self):
+        m = WorkMeter(budget_ops=5)
+        m.tick(5)
+        m.reset()
+        assert m.ops == 0 and not m.exhausted()
