@@ -77,6 +77,7 @@ def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
             },
             "network": {
                 "broadcasts": result.network_stats.broadcasts,
+                "gossip_pushes": result.network_stats.gossip_pushes,
                 "messages": result.network_stats.messages,
                 "tour_messages": result.network_stats.tour_messages,
                 "notification_messages":
@@ -84,6 +85,10 @@ def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
                 "broadcast_log": [
                     [int(s), float(t)]
                     for s, t in result.network_stats.broadcast_log
+                ],
+                "gossip_log": [
+                    [int(s), float(t)]
+                    for s, t in result.network_stats.gossip_log
                 ],
             },
             "global_trace": [[float(t), int(l)] for t, l in
@@ -121,10 +126,14 @@ def load_run(path: Union[str, Path], instance):
     if doc["type"] == "distributed":
         stats = NetworkStats(
             broadcasts=doc["network"]["broadcasts"],
+            gossip_pushes=doc["network"].get("gossip_pushes", 0),
             messages=doc["network"]["messages"],
             tour_messages=doc["network"]["tour_messages"],
             notification_messages=doc["network"]["notification_messages"],
             broadcast_log=[(s, t) for s, t in doc["network"]["broadcast_log"]],
+            gossip_log=[
+                (s, t) for s, t in doc["network"].get("gossip_log", [])
+            ],
         )
         return SimulationResult(
             best_tour=tour,

@@ -207,7 +207,12 @@ class EANode:
         notified = any(m.kind is MessageKind.OPTIMUM_FOUND for m in messages)
         received: list[Tour] = []
         for m in messages:
-            if m.kind is MessageKind.TOUR and m.order is not None:
+            # OPTIMUM_FOUND floods carry the winning tour; it competes in
+            # the selection like any received tour, so the node terminates
+            # holding the network optimum rather than its stale local best.
+            if m.order is not None and m.kind in (
+                MessageKind.TOUR, MessageKind.OPTIMUM_FOUND
+            ):
                 received.append(Tour(self.instance, m.order, m.length))
         if self._elite is not None:
             self._elite.add(candidate)

@@ -2,9 +2,11 @@
 
 from .hub import BootstrapNode, Hub
 from .message import Message, MessageKind, tour_payload
+from .mp_backend import MPResult, run_multiprocessing
 from .network import LatencyModel, NetworkStats, SimulatedNetwork
 from .simulator import SimulationResult, Simulator, run_simulation
-from .topology import get_topology, validate_topology
+from .supervision import BudgetPacer, NodeReport, Supervisor, deliver_critical
+from .topology import get_topology, remove_node, validate_topology
 
 __all__ = [
     "Message",
@@ -16,8 +18,15 @@ __all__ = [
     "Hub",
     "BootstrapNode",
     "get_topology",
+    "remove_node",
     "validate_topology",
     "Simulator",
     "SimulationResult",
     "run_simulation",
+    "MPResult",
+    "run_multiprocessing",
+    "BudgetPacer",
+    "NodeReport",
+    "Supervisor",
+    "deliver_critical",
 ]

@@ -15,7 +15,19 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["MessageKind", "Message", "tour_payload"]
+__all__ = [
+    "MessageKind",
+    "Message",
+    "tour_payload",
+    "WIRE_TOUR",
+    "WIRE_OPTIMUM_FOUND",
+    "WIRE_NEIGHBORS",
+    "WIRE_STOP",
+    "CONTROL_KINDS",
+    "CRITICAL_KINDS",
+    "wire_encode",
+    "wire_decode",
+]
 
 
 class MessageKind(enum.Enum):
@@ -66,3 +78,51 @@ def tour_payload(tour) -> tuple:
     order = np.array(tour.order, dtype=np.int32, copy=True)
     order.setflags(write=False)
     return order, int(tour.length)
+
+
+# -- multiprocessing wire format ---------------------------------------------
+#
+# The real-process backend ships messages as plain picklable tuples
+# ``(kind, sender, order, length)``.  Besides the two protocol kinds it
+# carries two *control* kinds the simulator never needs: a supervisor-
+# pushed neighbour-list replacement (crash rerouting) and the poison
+# pill used for deterministic shutdown.  Control messages are consumed
+# by the transport loop and never reach :meth:`EANode.select`.
+
+WIRE_TOUR = MessageKind.TOUR.value
+WIRE_OPTIMUM_FOUND = MessageKind.OPTIMUM_FOUND.value
+WIRE_NEIGHBORS = "neighbors"
+WIRE_STOP = "stop"
+
+CONTROL_KINDS = frozenset({WIRE_NEIGHBORS, WIRE_STOP})
+
+#: Wire kinds whose delivery must never be silently dropped: losing an
+#: OPTIMUM_FOUND strands peers until their budget; losing a control
+#: message desynchronizes the supervisor from its workers.
+CRITICAL_KINDS = frozenset({WIRE_OPTIMUM_FOUND, WIRE_NEIGHBORS, WIRE_STOP})
+
+
+def wire_encode(kind: str, sender: int, order, length: int) -> tuple:
+    """Pack one message for a multiprocessing queue."""
+    return (kind, sender, order, length)
+
+
+def wire_decode(raw: list) -> list:
+    """Decode drained wire tuples into protocol :class:`Message` objects.
+
+    Control-kind tuples are skipped (the transport loop handles them
+    before calling this).
+    """
+    out = []
+    for kind, sender, order, length in raw:
+        if kind in CONTROL_KINDS:
+            continue
+        out.append(
+            Message(
+                kind=MessageKind(kind),
+                sender=sender,
+                length=int(length),
+                order=None if order is None else np.asarray(order),
+            )
+        )
+    return out

@@ -34,14 +34,26 @@ class LatencyModel:
 
 @dataclass
 class NetworkStats:
-    """Aggregate counters mirroring the paper's §4 message analysis."""
+    """Aggregate counters mirroring the paper's §4 message analysis.
+
+    Topology broadcasts and gossip pushes are counted separately: the
+    paper's broadcast statistics (broadcasts per run, per-node rates)
+    only make sense for the neighbour-flooding path, while gossip sends
+    go to arbitrary peers and would skew those numbers if merged.
+    ``messages`` / ``tour_messages`` / ``notification_messages`` count
+    message *copies* across both dissemination modes.
+    """
 
     broadcasts: int = 0
+    #: Gossip (explicit-target) sends, counted apart from broadcasts.
+    gossip_pushes: int = 0
     messages: int = 0
     tour_messages: int = 0
     notification_messages: int = 0
     #: (sender, sent_at) per broadcast, for the timing histogram.
     broadcast_log: list = field(default_factory=list)
+    #: (sender, sent_at) per gossip tour push.
+    gossip_log: list = field(default_factory=list)
 
 
 class SimulatedNetwork:
@@ -108,11 +120,11 @@ class SimulatedNetwork:
                 raise KeyError(f"unknown node {dst}")
             heapq.heappush(self._inboxes[dst], (sent_at + delay, msg.seq, msg))
             count += 1
-        self.stats.broadcasts += 1
+        self.stats.gossip_pushes += 1
         self.stats.messages += count
         if kind is MessageKind.TOUR:
             self.stats.tour_messages += count
-            self.stats.broadcast_log.append((sender, sent_at))
+            self.stats.gossip_log.append((sender, sent_at))
         else:
             self.stats.notification_messages += count
         return count

@@ -103,7 +103,7 @@ class Simulator:
         elif isinstance(topology, str):
             topology = get_topology(topology, n_total)
         if set(topology) != set(range(n_total)):
-            raise ValueError("topology ids must be 0..n_nodes-1")
+            raise ValueError(f"topology ids must be 0..{n_total - 1}")
         if dissemination not in ("broadcast", "gossip"):
             raise ValueError(f"unknown dissemination {dissemination!r}")
         self.dissemination = dissemination

@@ -1,0 +1,382 @@
+"""Worker supervision for the real-process backend.
+
+The simulator gets fault tolerance for free (finished or departed nodes
+simply stop being scheduled and the topology degenerates around them —
+paper §3); real processes crash, stall and fill queues.  This module
+supplies the parent-side machinery that gives :mod:`repro.distributed.
+mp_backend` the same semantics under real failures:
+
+* :class:`BudgetPacer` — converts the remaining *wall-clock* budget into
+  a per-iteration *virtual-seconds* budget for :meth:`EANode.compute`,
+  using an online estimate of the worker's vsec/second rate.  This is
+  what bounds budget overshoot to one LK move instead of one unbounded
+  EA iteration.
+* :func:`deliver_critical` — a never-drop queue put for OPTIMUM_FOUND
+  notifications and control messages: retry with backoff, evicting the
+  oldest queued TOUR messages to make room (tours are redundant state;
+  notifications are not).
+* :class:`Supervisor` — the parent-side loop that collects results,
+  watches process liveness and worker heartbeats, reroutes the topology
+  around crashed nodes (see :func:`repro.distributed.topology.
+  remove_node`), optionally restarts crashed workers, and performs a
+  deterministic poison-pill shutdown.
+* :class:`NodeReport` — per-node exit status, crash/restart counts and
+  message-loss counters, surfaced on ``MPResult``.
+
+Nothing here imports the solver; the supervisor treats workers as
+opaque processes speaking the wire protocol of
+:mod:`repro.distributed.message`.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .message import WIRE_NEIGHBORS, WIRE_STOP, WIRE_TOUR, wire_encode
+from .topology import remove_node
+
+__all__ = ["BudgetPacer", "NodeReport", "Supervisor", "deliver_critical"]
+
+
+class BudgetPacer:
+    """Adaptive wall-clock → virtual-seconds pacing for compute slices.
+
+    ``EANode.compute`` is interruptible at move boundaries but only via
+    its vsec meter; handing it an effectively infinite budget lets one
+    EA iteration overshoot the wall-clock deadline arbitrarily.  The
+    pacer learns the worker's throughput (vsec of counted work per wall
+    second) from each completed slice and sizes the next slice so it
+    ends at or before the deadline — and never runs longer than
+    ``max_slice_seconds``, which also bounds the worker's heartbeat and
+    message-drain latency.
+    """
+
+    def __init__(
+        self,
+        initial_vsec: float = 4.0,
+        safety: float = 0.85,
+        max_slice_seconds: float = 0.5,
+        ema: float = 0.5,
+    ):
+        self.initial_vsec = float(initial_vsec)
+        self.safety = float(safety)
+        self.max_slice_seconds = float(max_slice_seconds)
+        self.ema = float(ema)
+        #: Learned throughput in vsec per wall second (None until observed).
+        self.rate: Optional[float] = None
+
+    def next_budget(self, remaining_seconds: float) -> float:
+        """Vsec budget for the next compute slice."""
+        if remaining_seconds <= 0:
+            return 1e-9
+        if self.rate is None:
+            # No estimate yet: a small fixed slice learns the rate fast
+            # and cannot overshoot a sane budget by much.
+            return self.initial_vsec
+        horizon = min(remaining_seconds, self.max_slice_seconds)
+        return max(horizon * self.rate * self.safety, 1e-3)
+
+    def observe(self, work_vsec: float, wall_seconds: float) -> None:
+        """Record one completed slice (work done, wall time it took)."""
+        if wall_seconds <= 1e-9 or work_vsec <= 0:
+            return
+        inst = work_vsec / wall_seconds
+        if self.rate is None:
+            self.rate = inst
+        else:
+            self.rate = self.ema * inst + (1.0 - self.ema) * self.rate
+
+
+def deliver_critical(
+    inbox,
+    item: tuple,
+    timeout_seconds: float = 5.0,
+    droppable: Callable[[tuple], bool] = lambda it: it[0] == WIRE_TOUR,
+) -> tuple[bool, int]:
+    """Put ``item`` into ``inbox`` without ever silently dropping it.
+
+    On ``queue.Full`` the oldest queued messages are evicted to make
+    room: droppable ones (TOUR broadcasts — redundant, a newer tour
+    always follows) are discarded and counted; critical ones are held
+    and re-enqueued after ``item`` lands.  Backs off between attempts
+    and gives up after ``timeout_seconds`` (e.g. the receiver is dead
+    and nobody drains its queue).
+
+    Returns ``(delivered, dropped_tours)``.
+    """
+    deadline = time.monotonic() + timeout_seconds
+    delay = 1e-3
+    dropped = 0
+    delivered = False
+    while True:
+        try:
+            inbox.put_nowait(item)
+            delivered = True
+            break
+        except queue_mod.Full:
+            pass
+        # Scan from the front for the oldest droppable message, holding
+        # any criticals encountered; re-enqueue those immediately (their
+        # own removal freed the slots) so only the eviction — if one
+        # happened — nets a free slot for ``item``.  Criticals displaced
+        # this way move to the queue tail; they are order-insensitive.
+        evicted = False
+        held: list[tuple] = []
+        while True:
+            try:
+                victim = inbox.get_nowait()
+            except queue_mod.Empty:
+                break
+            if droppable(victim):
+                dropped += 1
+                evicted = True
+                break
+            held.append(victim)
+        for h in held:
+            for _ in range(50):
+                try:
+                    inbox.put_nowait(h)
+                    break
+                except queue_mod.Full:  # pragma: no cover - producer race
+                    time.sleep(1e-3)
+        if evicted:
+            continue  # a slot is now free for ``item``
+        if time.monotonic() >= deadline:
+            break
+        time.sleep(delay)
+        delay = min(delay * 2, 0.05)
+    return delivered, dropped
+
+
+@dataclass
+class NodeReport:
+    """Per-node supervision outcome, attached to ``MPResult``.
+
+    ``exit_status`` is ``"ok"`` (posted a result), ``"crashed"`` (died
+    without one, restarts exhausted or disabled), ``"timeout"`` (still
+    alive past the hard deadline) or ``"killed"`` (had to be terminated
+    during shutdown).
+    """
+
+    node_id: int
+    exit_status: str = "ok"
+    #: Worker-reported stop reason (budget/optimum/notified/stopped).
+    reason: Optional[str] = None
+    crashes: int = 0
+    restarts: int = 0
+    #: TOUR messages this node's sends dropped (inbox-full evictions and
+    #: plain full-queue drops combined).
+    dropped_tours: int = 0
+    #: Critical sends that timed out (dead receiver).
+    failed_sends: int = 0
+    iterations: int = 0
+    #: Wall seconds the worker's EA loop actually ran (self-measured).
+    loop_seconds: float = 0.0
+    exitcode: Optional[int] = None
+    #: Age of the worker's last heartbeat at supervisor exit, seconds.
+    heartbeat_age: Optional[float] = None
+    #: Heartbeats went stale while the process stayed alive.
+    stalled: bool = False
+
+
+@dataclass
+class Supervisor:
+    """Parent-side collection + fault handling for one MP run.
+
+    Drives four concerns the old collection loop conflated or missed:
+    result gathering, crash detection (process sentinels, not timeouts),
+    topology degradation / restarts around dead workers, and a
+    deterministic shutdown (poison pill, join barrier, ``terminate``
+    only as a last resort for unresponsive processes).
+    """
+
+    procs: dict
+    inboxes: dict
+    result_queue: object
+    heartbeats: dict
+    topology: dict
+    #: ``spawn(node_id, neighbor_ids, budget_seconds, attempt) -> Process``
+    spawn: Callable
+    budget_seconds: float
+    restart: str = "never"  # "never" | "on_crash"
+    max_restarts: int = 1
+    shutdown_grace: float = 15.0
+    heartbeat_timeout: float = 30.0
+    poll_interval: float = 0.05
+    min_restart_budget: float = 1.0
+    #: How long a worker may take to boot (spawn + imports + instance
+    #: rebuild) before its budget clock is assumed to have started.  On
+    #: loaded single-core machines concurrent spawns take tens of
+    #: seconds; a worker's real deadline is anchored at its first
+    #: heartbeat when one exists.
+    startup_allowance: float = 120.0
+    reports: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.restart not in ("never", "on_crash"):
+            raise ValueError(f"unknown restart policy {self.restart!r}")
+        for node_id in self.procs:
+            self.reports[node_id] = NodeReport(node_id=node_id)
+        self._failed: set[int] = set()
+        self._t0 = time.monotonic()
+        #: Wall time of each node's first observed heartbeat — the point
+        #: its budget clock actually started.
+        self._started: dict[int, float] = {}
+
+    def _node_deadline(self, node_id: int) -> float:
+        """Hard wall-clock deadline for one node's result."""
+        started = self._started.get(node_id)
+        if started is None:
+            started = self._t0 + self.startup_allowance
+        return started + self.budget_seconds + self.shutdown_grace
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> dict:
+        """Collect results until every node is accounted for.
+
+        Returns ``{node_id: (order, length, reason, stats)}``; per-node
+        outcomes (including crashes) are in :attr:`reports`.
+
+        Exits as soon as every node has either reported or failed for
+        good — a run whose workers all crashed returns immediately, not
+        after a multiple-of-budget timeout.  An alive but silent worker
+        is written off (``"timeout"``) once its own deadline — anchored
+        at its first heartbeat — passes.
+        """
+        results: dict = {}
+        while True:
+            self._drain_results(results)
+            now = time.monotonic()
+            self._observe_heartbeats(now)
+            self._check_liveness(results, now)
+            for node_id in list(self.procs):
+                if node_id in results or node_id in self._failed:
+                    continue
+                if now >= self._node_deadline(node_id):
+                    self.reports[node_id].exit_status = "timeout"
+                    self._failed.add(node_id)
+            if len(results) + len(self._failed) >= len(self.procs):
+                break  # everyone reported or failed for good — no waiting
+            try:
+                item = self.result_queue.get(timeout=self.poll_interval)
+            except queue_mod.Empty:
+                continue
+            self._record_result(results, item)
+        self._shutdown(results)
+        return results
+
+    # -- internals -----------------------------------------------------------
+
+    def _drain_results(self, results: dict) -> None:
+        while True:
+            try:
+                item = self.result_queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._record_result(results, item)
+
+    def _record_result(self, results: dict, item: tuple) -> None:
+        node_id, order, length, reason, stats = item
+        results[node_id] = (order, length, reason, stats)
+        report = self.reports[node_id]
+        report.reason = reason
+        report.dropped_tours += int(stats.get("dropped_tours", 0))
+        report.failed_sends += int(stats.get("failed_sends", 0))
+        report.iterations = int(stats.get("iterations", 0))
+        report.loop_seconds = float(stats.get("loop_seconds", 0.0))
+        # A node that reported after a restart still ended OK.
+        report.exit_status = "ok"
+        self._failed.discard(node_id)
+
+    def _observe_heartbeats(self, now: float) -> None:
+        for node_id in self.procs:
+            hb = self.heartbeats.get(node_id)
+            if hb is None:
+                continue
+            self._started.setdefault(node_id, hb[0])
+            self.reports[node_id].heartbeat_age = now - hb[0]
+
+    def _check_liveness(self, results: dict, now: float) -> None:
+        for node_id, p in list(self.procs.items()):
+            if node_id in results or node_id in self._failed:
+                continue
+            report = self.reports[node_id]
+            if p.is_alive():
+                if (
+                    report.heartbeat_age is not None
+                    and report.heartbeat_age > self.heartbeat_timeout
+                ):
+                    report.stalled = True
+                continue
+            p.join()  # reap; the process is already dead
+            # The worker may have posted its result between our last
+            # drain and its exit: a dead process with a queued result is
+            # a normal completion, not a crash.
+            self._drain_results(results)
+            if node_id in results:
+                continue
+            report.crashes += 1
+            report.exitcode = p.exitcode
+            self._on_crash(node_id, now)
+
+    def _on_crash(self, node_id: int, now: float) -> None:
+        report = self.reports[node_id]
+        started = self._started.get(node_id, now)
+        remaining = started + self.budget_seconds - now
+        if (
+            self.restart == "on_crash"
+            and report.restarts < self.max_restarts
+            and remaining > self.min_restart_budget
+        ):
+            report.restarts += 1
+            self.procs[node_id] = self.spawn(
+                node_id, self.topology[node_id], remaining,
+                report.crashes,
+            )
+            return
+        # No restart: the node is gone for good.  Degrade the topology
+        # around it (its neighbours cross-link, as when a node finishes
+        # in the simulator) and push the survivors their new lists.
+        report.exit_status = "crashed"
+        self._failed.add(node_id)
+        orphans = self.topology.get(node_id, ())
+        if node_id in self.topology:
+            self.topology = remove_node(self.topology, node_id)
+        for nbr in orphans:
+            if nbr in self._failed:
+                continue
+            deliver_critical(
+                self.inboxes[nbr],
+                wire_encode(
+                    WIRE_NEIGHBORS, -1, tuple(self.topology[nbr]), 0
+                ),
+            )
+
+    def _shutdown(self, results: dict) -> None:
+        """Poison-pill + join barrier; ``terminate`` only if unresponsive."""
+        alive = [
+            (node_id, p) for node_id, p in self.procs.items() if p.is_alive()
+        ]
+        for node_id, _ in alive:
+            deliver_critical(
+                self.inboxes[node_id],
+                wire_encode(WIRE_STOP, -1, None, 0),
+                timeout_seconds=1.0,
+            )
+        for node_id, p in self.procs.items():
+            p.join(timeout=10.0)
+            if p.is_alive():  # pragma: no cover - unresponsive worker
+                p.terminate()
+                p.join(timeout=5.0)
+                self.reports[node_id].exit_status = "killed"
+        # Late results posted between the last drain and the joins.
+        self._drain_results(results)
+        now = time.monotonic()
+        for node_id, report in self.reports.items():
+            hb = self.heartbeats.get(node_id)
+            if hb is not None:
+                report.heartbeat_age = now - hb[0]

@@ -24,6 +24,7 @@ __all__ = [
     "random_regular",
     "get_topology",
     "validate_topology",
+    "remove_node",
 ]
 
 
@@ -139,6 +140,29 @@ def get_topology(name: str, n_nodes: int, **kwargs) -> dict[int, tuple[int, ...]
             f"{sorted(_TOPOLOGIES) + ['random_regular']}"
         ) from None
     return builder(n_nodes, **kwargs)
+
+
+def remove_node(topo: dict[int, tuple[int, ...]],
+                node_id: int) -> dict[int, tuple[int, ...]]:
+    """Topology degradation around a dead node.
+
+    Removes ``node_id`` and cross-links its former neighbours into a
+    clique, so the surviving graph keeps (at least) the connectivity the
+    dead node provided — the same "topology degenerates around finished
+    nodes" behaviour the paper describes for end-of-run drop-out, applied
+    to crashes by the multiprocessing supervisor.
+    """
+    if node_id not in topo:
+        raise KeyError(f"node {node_id} not in topology")
+    orphans = topo[node_id]
+    out: dict[int, set] = {
+        i: set(nbrs) - {node_id} for i, nbrs in topo.items() if i != node_id
+    }
+    for a in orphans:
+        for b in orphans:
+            if a != b:
+                out[a].add(b)
+    return {i: tuple(sorted(v)) for i, v in out.items()}
 
 
 def validate_topology(topo: dict[int, tuple[int, ...]],

@@ -72,18 +72,18 @@ class LinKernighan:
         if self.config.use_quadrant_neighbors and instance.is_geometric:
             per_quad = max(1, k // 4)
             self.neighbors = instance.quadrant_neighbor_lists(per_quad)
+            self._neighbor_rows = instance.quadrant_neighbor_row_lists(per_quad)
         else:
             self.neighbors = instance.neighbor_lists(k)
-        self._neighbor_rows = [row.tolist() for row in self.neighbors]
+            self._neighbor_rows = instance.neighbor_row_lists(k)
         self._in_queue = np.zeros(instance.n, dtype=bool)
         # Hot-loop distance access: plain nested lists beat numpy scalar
         # indexing by ~3x; fall back to the instance closure when the
-        # dense matrix would not fit.
-        instance.materialize()
-        if instance._matrix_cache is not None:
-            self._dist_rows = instance._matrix_cache.tolist()
-        else:
-            self._dist_rows = None
+        # dense matrix would not fit.  Both list forms are cached on the
+        # instance so the nodes of a distributed run share one copy
+        # instead of re-materializing O(n^2) Python objects each.
+        self._dist_rows = instance.matrix_row_lists()
+        if self._dist_rows is None:
             self._dist_fn = instance.dist
 
     # -- public API ---------------------------------------------------------

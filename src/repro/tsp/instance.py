@@ -48,6 +48,7 @@ class TSPInstance:
     comment: str = ""
 
     _matrix_cache: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _matrix_rows: Optional[list] = field(default=None, repr=False, compare=False)
     _dist_fn: Optional[Callable[[int, int], int]] = field(
         default=None, repr=False, compare=False
     )
@@ -128,6 +129,22 @@ class TSPInstance:
             self.distance_matrix()
         return self
 
+    def matrix_row_lists(self) -> Optional[list]:
+        """Distance matrix as nested Python lists, shared across solvers.
+
+        Plain-list scalar indexing beats numpy scalar indexing ~3x in the
+        LK hot loop, but ``tolist()`` builds O(n^2) Python objects —
+        cached here so every :class:`LinKernighan` (one per node in a
+        distributed run) reuses one copy.  None when the dense matrix is
+        not affordable (see :meth:`materialize`).
+        """
+        if self._matrix_rows is None:
+            self.materialize()
+            if self._matrix_cache is None:
+                return None
+            self._matrix_rows = self._matrix_cache.tolist()
+        return self._matrix_rows
+
     # -- tours --------------------------------------------------------------
 
     def tour_length(self, order: np.ndarray) -> int:
@@ -173,6 +190,31 @@ class TSPInstance:
         if cached is None:
             cached = _neighbors.quadrant_lists(self, per_quadrant)
             cached.setflags(write=False)
+            self._neighbor_cache[key] = cached
+        return cached
+
+    def neighbor_row_lists(self, k: int = 10) -> list:
+        """:meth:`neighbor_lists` as a list of per-city Python lists.
+
+        The list form is what the LK candidate scan iterates; cached so
+        all nodes of a distributed run share one conversion.
+        """
+        key = ("rows", min(k, self.n - 1))
+        cached = self._neighbor_cache.get(key)
+        if cached is None:
+            cached = [row.tolist() for row in self.neighbor_lists(k)]
+            self._neighbor_cache[key] = cached
+        return cached
+
+    def quadrant_neighbor_row_lists(self, per_quadrant: int = 3) -> list:
+        """:meth:`quadrant_neighbor_lists` as per-city Python lists (cached)."""
+        key = ("rows", "quad", per_quadrant)
+        cached = self._neighbor_cache.get(key)
+        if cached is None:
+            cached = [
+                row.tolist()
+                for row in self.quadrant_neighbor_lists(per_quadrant)
+            ]
             self._neighbor_cache[key] = cached
         return cached
 

@@ -95,8 +95,10 @@ def quadrant_lists(instance, per_quadrant: int = 3) -> np.ndarray:
                 seen.add(int(c))
                 chosen.append(int(c))
         row = np.array(chosen[:total], dtype=np.int32)
-        out[i, : len(row)] = _sort_by_instance_distance(instance, i, row)
         if len(row) < total:  # pragma: no cover - tiny instances only
             pad = np.setdiff1d(np.arange(n, dtype=np.int32), np.append(row, i))
-            out[i, len(row) :] = pad[: total - len(row)]
+            row = np.append(row, pad[: total - len(row)]).astype(np.int32)
+        # Sort the complete row (padding included): _candidates' early
+        # break relies on every row being distance-sorted end to end.
+        out[i] = _sort_by_instance_distance(instance, i, row)
     return out

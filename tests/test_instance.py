@@ -169,3 +169,52 @@ class TestQuadrantNeighbors:
         inst = TSPInstance(coords=coords)
         q = inst.quadrant_neighbor_lists(1)
         assert set(q[0]) == {1, 2, 3, 4}
+
+    def test_rows_sorted_by_distance_including_padding(self):
+        # Collinear points: for an endpoint city, every other city sits
+        # in one quadrant, so most of its row comes from the global
+        # nearest-neighbour padding.  ``_candidates`` early-breaks on
+        # the first too-long neighbour, so the padded tail must be
+        # distance-sorted like the rest of the row.
+        from repro.tsp.instance import TSPInstance
+
+        coords = np.array([[10.0 * i, 0.0] for i in range(12)])
+        inst = TSPInstance(coords=coords)
+        q = inst.quadrant_neighbor_lists(2)
+        for i in range(inst.n):
+            d = [inst.dist(i, int(j)) for j in q[i]]
+            assert d == sorted(d), f"row {i} not distance-sorted: {d}"
+
+    def test_clustered_rows_sorted(self, small_instance):
+        q = small_instance.quadrant_neighbor_lists(2)
+        for i in range(small_instance.n):
+            d = [small_instance.dist(i, int(j)) for j in q[i]]
+            assert d == sorted(d)
+
+
+class TestSharedRowCaches:
+    """LK solvers share list-form rows via the instance-level cache."""
+
+    def test_neighbor_row_lists_cached(self, small_instance):
+        a = small_instance.neighbor_row_lists(5)
+        assert a is small_instance.neighbor_row_lists(5)
+        assert a == [list(map(int, r))
+                     for r in small_instance.neighbor_lists(5)]
+
+    def test_quadrant_row_lists_cached(self, small_instance):
+        a = small_instance.quadrant_neighbor_row_lists(2)
+        assert a is small_instance.quadrant_neighbor_row_lists(2)
+
+    def test_matrix_rows_cached_and_consistent(self, small_instance):
+        rows = small_instance.matrix_row_lists()
+        assert rows is small_instance.matrix_row_lists()
+        m = small_instance.distance_matrix()
+        assert rows[2][3] == int(m[2, 3])
+
+    def test_lk_objects_share_rows(self, small_instance):
+        from repro.localsearch.lin_kernighan import LinKernighan
+
+        lk1 = LinKernighan(small_instance)
+        lk2 = LinKernighan(small_instance)
+        assert lk1._neighbor_rows is lk2._neighbor_rows
+        assert lk1._dist_rows is lk2._dist_rows

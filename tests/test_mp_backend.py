@@ -2,9 +2,14 @@
 
 These run actual OS processes; budgets are kept tiny.  Only invariants
 are asserted — wall-clock runs are not reproducible by design.
+
+The ``timeout`` markers are honoured when pytest-timeout is installed
+(it is in the dev extras) and are inert no-ops otherwise; they are the
+backstop proving the fault-tolerance claim — a run with dead workers
+must return, not hang.
 """
 
-import sys
+import time
 
 import numpy as np
 import pytest
@@ -15,6 +20,7 @@ from repro.tsp import generators
 
 
 @pytest.mark.slow
+@pytest.mark.timeout(300)
 def test_two_process_run_produces_valid_tour():
     inst = generators.uniform(40, rng=0)
     res = run_multiprocessing(
@@ -32,9 +38,37 @@ def test_two_process_run_produces_valid_tour():
     assert res.best_length == min(res.node_lengths.values())
     assert all(r in ("budget", "optimum", "notified")
                for r in res.reasons.values())
+    assert res.crashed_nodes == () and res.total_restarts == 0
 
 
 @pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_budget_overshoot_bounded():
+    """Workers honour the wall-clock budget at LK move boundaries.
+
+    The old backend handed ``compute`` an effectively infinite vsec
+    budget, so one EA iteration could overshoot the deadline by the
+    full runtime of a chained-LK pass.  With the pacer the overshoot is
+    at most one short compute slice.
+    """
+    budget = 2.0
+    res = run_multiprocessing(
+        generators.uniform(60, rng=2),
+        budget_seconds=budget,
+        n_nodes=2,
+        node_config=NodeConfig(inner_kicks=2),
+        topology="ring",
+        rng=4,
+    )
+    for node_id, report in res.node_reports.items():
+        assert report.loop_seconds <= budget + 1.5, (
+            f"node {node_id} overshot: {report.loop_seconds:.2f}s"
+        )
+        assert report.iterations > 1  # paced into multiple slices
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
 def test_target_terminates_early():
     from repro.bounds import held_karp_exact
 
@@ -50,3 +84,133 @@ def test_target_terminates_early():
     )
     assert res.best_length == opt
     assert res.elapsed_seconds < 30.0
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_notification_survives_full_inboxes():
+    """OPTIMUM_FOUND floods through even when every inbox is saturated.
+
+    With ``inbox_maxsize=2`` the tour traffic keeps the queues full; the
+    old backend's notification send raised ``queue.Full`` and was
+    swallowed, leaving the neighbours to burn their whole budget.  The
+    never-drop path evicts queued tours instead, so everyone stops on
+    optimum/notified.
+    """
+    from repro.bounds import held_karp_exact
+
+    inst = generators.uniform(12, rng=5)
+    opt, _ = held_karp_exact(inst)
+    res = run_multiprocessing(
+        inst,
+        budget_seconds=20.0,
+        n_nodes=3,
+        node_config=NodeConfig(inner_kicks=2, target_length=opt),
+        topology="ring",
+        rng=1,
+        inbox_maxsize=2,
+    )
+    assert res.best_length == opt
+    assert all(r in ("optimum", "notified") for r in res.reasons.values()), (
+        res.reasons
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(600)
+def test_killed_worker_does_not_hang_run():
+    """ISSUE acceptance scenario: 8-node hypercube, node 3 hard-killed.
+
+    The run must return promptly (not the old ``budget*3 + 60`` wait),
+    report node 3 as crashed, and the surviving seven nodes must still
+    converge and terminate via OPTIMUM_FOUND flooding.
+    """
+    from repro.localsearch.chained_lk import chained_lk
+
+    inst = generators.uniform(100, rng=9)
+    target = chained_lk(inst, max_kicks=60, rng=1).tour.length
+    budget = 20.0
+    t0 = time.monotonic()
+    res = run_multiprocessing(
+        inst,
+        budget_seconds=budget,
+        n_nodes=8,
+        node_config=NodeConfig(inner_kicks=2, target_length=target),
+        topology="hypercube",
+        rng=3,
+        kill_at={3: 0.5},
+    )
+    elapsed = time.monotonic() - t0
+    # Slack covers single-core spawn startup (~25s for 8 workers) and
+    # shutdown, not a timeout-based crash diagnosis.
+    assert elapsed < budget + 70.0
+    assert res.reasons[3] == "crashed"
+    assert res.crashed_nodes == (3,)
+    assert res.node_reports[3].exitcode == 1
+    assert 3 not in res.node_lengths
+    survivors = [i for i in range(8) if i != 3]
+    assert all(res.reasons[i] in ("optimum", "notified") for i in survivors), (
+        res.reasons
+    )
+    assert res.best_length <= target
+    assert res.tour(inst).is_valid()
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_restart_on_crash_recovers_node():
+    inst = generators.uniform(40, rng=0)
+    res = run_multiprocessing(
+        inst,
+        budget_seconds=6.0,
+        n_nodes=2,
+        node_config=NodeConfig(inner_kicks=2),
+        topology="ring",
+        rng=0,
+        kill_at={1: 0.5},
+        restart="on_crash",
+    )
+    assert res.total_restarts == 1
+    assert res.node_reports[1].restarts == 1
+    assert res.node_reports[1].exit_status == "ok"
+    assert res.crashed_nodes == ()
+    assert set(res.node_lengths) == {0, 1}
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_all_workers_crashed_fails_fast():
+    """Every worker dead → RuntimeError with a per-node report, fast."""
+    inst = generators.uniform(40, rng=0)
+    t0 = time.monotonic()
+    with pytest.raises(RuntimeError, match="node 0.*crashed"):
+        run_multiprocessing(
+            inst,
+            budget_seconds=30.0,
+            n_nodes=2,
+            node_config=NodeConfig(inner_kicks=2),
+            topology="ring",
+            rng=0,
+            kill_at={0: 0.3, 1: 0.3},
+        )
+    # Far below the 30s budget: crashes are detected via process
+    # sentinels, not by waiting out a multiple of the budget.
+    assert time.monotonic() - t0 < 25.0
+
+
+def test_argument_validation():
+    inst = generators.uniform(10, rng=0)
+    with pytest.raises(ValueError, match="budget_seconds"):
+        run_multiprocessing(inst, budget_seconds=0.0, n_nodes=2)
+    with pytest.raises(ValueError, match="kill_at"):
+        run_multiprocessing(
+            inst, budget_seconds=1.0, n_nodes=2, topology="ring",
+            kill_at={5: 0.1},
+        )
+    # Must raise before any worker is spawned — late validation leaked
+    # orphaned processes that crashed on the dead manager.
+    with pytest.raises(ValueError, match="restart policy"):
+        run_multiprocessing(
+            inst, budget_seconds=1.0, n_nodes=2, topology="ring",
+            restart="sometimes",
+        )

@@ -81,3 +81,18 @@ class TestSimulatedNetwork:
     def test_invalid_topology_rejected(self):
         with pytest.raises(ValueError):
             SimulatedNetwork({0: (1,), 1: ()})
+
+    def test_gossip_counted_separately_from_broadcasts(self):
+        # ``send`` (epidemic gossip push) must not inflate the
+        # broadcast counters the analysis pipeline reads — it would
+        # corrupt messages-per-improvement statistics.
+        net = SimulatedNetwork(hypercube(4))
+        net.broadcast(0, MessageKind.TOUR, 5, np.arange(3), sent_at=0.0)
+        net.send(0, [1, 2], MessageKind.TOUR, 5, np.arange(3), sent_at=1.0)
+        s = net.stats
+        assert s.broadcasts == 1
+        assert s.gossip_pushes == 1
+        assert s.broadcast_log == [(0, 0.0)]
+        assert s.gossip_log == [(0, 1.0)]
+        assert s.messages == 4  # 2 neighbours + 2 explicit targets
+        assert s.tour_messages == 4  # per-kind counters cover both paths
