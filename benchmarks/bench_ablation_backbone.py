@@ -21,7 +21,6 @@ from _common import (
     seeds,
 )
 from repro.analysis import fmt_pct, format_table, mean_excess_percent
-from repro.core.events import EventKind
 
 INSTANCE = "fnl350"
 

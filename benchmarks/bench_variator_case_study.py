@@ -12,7 +12,6 @@ differ in their escalation pattern — some never pass strength 1-2, some
 escalate further before a better tour arrives.
 """
 
-import numpy as np
 
 from _common import N_RUNS, emit, print_banner, run_dist, seeds
 from repro.analysis import format_table

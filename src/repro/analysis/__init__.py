@@ -12,7 +12,14 @@ from .quality import (
     reference_length,
     success_count,
 )
-from .reporting import ascii_chart, fmt_pct, fmt_time, format_series, format_table
+from .reporting import (
+    ascii_chart,
+    fmt_pct,
+    fmt_time,
+    format_series,
+    format_table,
+    op_stats_table,
+)
 from .runio import load_run, save_run
 from .statistics import (
     Comparison,
@@ -44,6 +51,7 @@ __all__ = [
     "ascii_chart",
     "fmt_pct",
     "fmt_time",
+    "op_stats_table",
     "plot_instance",
     "plot_tour",
     "save_run",

@@ -12,7 +12,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "ascii_chart", "fmt_pct", "fmt_time"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "ascii_chart",
+    "fmt_pct",
+    "fmt_time",
+    "op_stats_table",
+]
 
 
 def fmt_pct(value: Optional[float], digits: int = 3) -> str:
@@ -60,6 +67,33 @@ def format_table(
     out.append("  ".join("-" * w for w in widths))
     out.extend(render_row(r) for r in cells)
     return "\n".join(out)
+
+
+def op_stats_table(stats_map: dict, title: str | None = None) -> str:
+    """Engine-telemetry table, one row per labelled :class:`OpStats`.
+
+    ``stats_map`` maps a row label (node id, run name, ...) to an
+    :class:`repro.localsearch.engine.OpStats`.  A ``total`` row is
+    appended when there is more than one entry.  Counters are rendered
+    raw; ``gain`` is the summed improvement in tour-length units.
+    """
+    from ..localsearch.engine import OpStats
+
+    headers = ["run", "calls", "scans", "flips", "undone", "swaps",
+               "wakeups", "moves", "gain"]
+
+    def row(label, s):
+        return [label, s.calls, s.candidate_scans, s.flips_applied,
+                s.flips_undone, s.segment_swaps, s.queue_wakeups,
+                s.moves, s.gain]
+
+    rows = [row(str(k), v) for k, v in stats_map.items()]
+    if len(stats_map) > 1:
+        total = OpStats()
+        for s in stats_map.values():
+            total.merge(s)
+        rows.append(row("total", total))
+    return format_table(headers, rows, title=title)
 
 
 def format_series(

@@ -15,10 +15,11 @@ from typing import Union
 
 import numpy as np
 
-from ..core.events import Event, EventKind, EventLog
+from ..core.events import EventKind, EventLog
 from ..distributed.network import NetworkStats
 from ..distributed.simulator import SimulationResult
 from ..localsearch.chained_lk import ChainedLKResult
+from ..localsearch.engine import OpStats
 from ..tsp.tour import Tour
 
 __all__ = ["save_run", "load_run"]
@@ -60,6 +61,7 @@ def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
             "work_vsec": result.work_vsec,
             "hit_target": result.hit_target,
             "trace": [[float(t), int(l)] for t, l in result.trace],
+            "op_stats": result.op_stats.to_json(),
         }
     elif isinstance(result, SimulationResult):
         doc = {
@@ -93,6 +95,9 @@ def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
             },
             "global_trace": [[float(t), int(l)] for t, l in
                              result.global_trace],
+            "op_stats": {
+                str(k): v.to_json() for k, v in result.op_stats.items()
+            },
         }
     else:
         raise TypeError(f"cannot serialize {type(result).__name__}")
@@ -122,6 +127,8 @@ def load_run(path: Union[str, Path], instance):
             work_vsec=doc["work_vsec"],
             hit_target=doc["hit_target"],
             trace=[(t, l) for t, l in doc["trace"]],
+            # Older run files predate engine telemetry; default to zeros.
+            op_stats=OpStats.from_json(doc.get("op_stats")),
         )
     if doc["type"] == "distributed":
         stats = NetworkStats(
@@ -147,5 +154,9 @@ def load_run(path: Union[str, Path], instance):
             },
             network_stats=stats,
             global_trace=[(t, l) for t, l in doc["global_trace"]],
+            op_stats={
+                int(k): OpStats.from_json(v)
+                for k, v in doc.get("op_stats", {}).items()
+            },
         )
     raise ValueError(f"unknown run type {doc['type']!r}")

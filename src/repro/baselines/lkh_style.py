@@ -12,14 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..construct.nearest_neighbor import nearest_neighbor
 from ..localsearch.lin_kernighan import LinKernighan, LKConfig
+from ..tsp.candidates import AlphaCandidates
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng
 from ..utils.work import WorkMeter
-from .alpha import alpha_candidate_lists
 
 __all__ = ["LKHStyleResult", "lkh_style"]
 
@@ -62,16 +60,15 @@ def lkh_style(
     meter = WorkMeter.with_vsec_budget(budget_vsec)
 
     # Preprocessing: charge the dense Held-Karp / alpha work to the meter.
-    candidates = alpha_candidate_lists(
-        instance, k=candidate_k, ascent_iterations=ascent_iterations
+    provider = AlphaCandidates(
+        k=candidate_k, ascent_iterations=ascent_iterations
     )
+    provider.lists(instance)  # build eagerly so the cost lands here
     meter.tick(_PREP_OPS_PER_CITY_ITER * instance.n * ascent_iterations)
     prep_vsec = meter.vsec
 
     config = LKConfig(neighbor_k=candidate_k, max_depth=50, breadth=(8, 4, 2))
-    lk = LinKernighan(instance, config)
-    # Swap in the alpha candidates (the engine only reads the array).
-    lk.neighbors = candidates
+    lk = LinKernighan(instance, config, candidates=provider)
 
     best: Tour | None = None
     trials = 0

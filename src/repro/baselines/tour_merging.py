@@ -22,6 +22,7 @@ import numpy as np
 
 from ..localsearch.chained_lk import ChainedLK
 from ..localsearch.lin_kernighan import LinKernighan, LKConfig
+from ..tsp.candidates import ExplicitCandidates
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng, spawn_rngs
 from ..utils.work import OPS_PER_VSEC, WorkMeter
@@ -111,8 +112,10 @@ def tour_merging(
     config = LKConfig(
         neighbor_k=candidates.shape[1], max_depth=64, breadth=(8, 4, 2)
     )
-    lk = LinKernighan(instance, config)
-    lk.neighbors = candidates
+    lk = LinKernighan(
+        instance, config,
+        candidates=ExplicitCandidates(candidates, assume_sorted=True),
+    )
     best = min(tours, key=lambda t: t.length).copy()
     lk.optimize(best, meter)
     trace.append((meter.vsec, best.length))

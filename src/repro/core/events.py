@@ -10,7 +10,7 @@ back.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["EventKind", "Event", "EventLog"]
 

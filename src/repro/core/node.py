@@ -122,6 +122,12 @@ class EANode:
     def best_length(self) -> Optional[int]:
         return self.s_best.length if self.s_best is not None else None
 
+    @property
+    def op_stats(self):
+        """Cumulative engine telemetry (candidate scans, flips, swaps,
+        wakeups) across every CLK call this node has made."""
+        return self.clk.stats
+
     # -- Figure 1: compute phase ----------------------------------------------
 
     def compute(self, budget_vsec: float) -> tuple[float, Tour]:

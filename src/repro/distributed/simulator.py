@@ -23,7 +23,7 @@ from typing import Optional
 from ..core.node import EANode, NodeConfig
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng, spawn_rngs
-from .churn import ChurnEvent, make_schedule, validate_schedule
+from .churn import make_schedule, validate_schedule
 from .message import MessageKind, tour_payload
 from .network import LatencyModel, NetworkStats, SimulatedNetwork
 from .topology import get_topology, hypercube
@@ -50,6 +50,18 @@ class SimulationResult:
     #: Merged anytime curve: sorted (vsec, running-best length) steps,
     #: with vsec measured per node (the paper's "CPU time per node").
     global_trace: list = field(default_factory=list)
+    #: Per-node engine telemetry (node id -> OpStats): candidate scans,
+    #: flips applied/undone, reversal swaps, queue wakeups.
+    op_stats: dict = field(default_factory=dict)
+
+    def total_op_stats(self):
+        """Network-wide engine telemetry (sum over nodes)."""
+        from ..localsearch.engine import OpStats
+
+        total = OpStats()
+        for s in self.op_stats.values():
+            total.merge(s)
+        return total
 
     @property
     def best_length(self) -> int:
@@ -222,6 +234,7 @@ class Simulator:
             event_logs={n.node_id: n.events for n in nodes},
             network_stats=self.network.stats,
             global_trace=trace,
+            op_stats={n.node_id: n.op_stats.copy() for n in nodes},
         )
 
 

@@ -25,12 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-import numpy as np
 
 from ..construct.quick_boruvka import quick_boruvka
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng
 from ..utils.work import OPS_PER_VSEC, WorkMeter
+from .engine import OpStats, get_operator
 from .kicks import apply_double_bridge, get_kick
 from .lin_kernighan import LKConfig, LinKernighan
 
@@ -48,6 +48,9 @@ class ChainedLKResult:
     hit_target: bool
     #: (vsec, length) pairs recorded at every improvement, for anytime curves.
     trace: list = field(default_factory=list)
+    #: Engine telemetry aggregated over the run (candidate scans, flips,
+    #: reversal swaps, queue wakeups; see repro.localsearch.engine.OpStats).
+    op_stats: OpStats = field(default_factory=OpStats)
 
     @property
     def length(self) -> int:
@@ -68,12 +71,26 @@ class ChainedLK:
         kick: str = "random_walk",
         lk_config: LKConfig | None = None,
         rng=None,
+        polish: tuple = (),
     ):
+        """``polish`` names registered operators (see
+        :func:`repro.localsearch.engine.get_operator`) applied to the
+        final tour of :meth:`run` — e.g. ``("or_opt",)`` for an LK +
+        Or-opt pipeline.  They share the LK engine's candidate set,
+        meter, and stats sink; the default is no polish (the paper's
+        plain CLK)."""
         self.instance = instance
         self.lk = LinKernighan(instance, lk_config)
         self.kick_name = kick
         self._kick_fn = get_kick(kick)
         self.rng = ensure_rng(rng)
+        self.polish = tuple(polish)
+        self._polish_ops = [get_operator(name) for name in self.polish]
+
+    @property
+    def stats(self) -> OpStats:
+        """Cumulative engine telemetry across this solver's lifetime."""
+        return self.lk.stats
 
     def initial_tour(self, meter: WorkMeter | None = None) -> Tour:
         """Quick-Borůvka construction followed by a full LK pass."""
@@ -125,6 +142,7 @@ class ChainedLK:
         """
         if budget_vsec is None and max_kicks is None and target_length is None:
             raise ValueError("need at least one stopping criterion")
+        stats0 = self.lk.stats.copy()
         if free_init:
             meter = WorkMeter()  # budget applied after the free init
         elif budget_vsec is not None:
@@ -163,6 +181,16 @@ class ChainedLK:
                 best = cand
             if target_length is not None and best.length <= target_length:
                 hit = True
+        if self._polish_ops and not meter.exhausted():
+            before = best.length
+            for op in self._polish_ops:
+                op(best, candidates=self.lk.candidates, meter=meter,
+                   stats=self.lk.stats)
+                if meter.exhausted():
+                    break
+            if best.length < before:
+                improvements += 1
+                record(best.length)
         return ChainedLKResult(
             tour=best,
             kicks=kicks,
@@ -170,6 +198,7 @@ class ChainedLK:
             work_vsec=meter.vsec - t0,
             hit_target=hit,
             trace=trace,
+            op_stats=self.lk.stats - stats0,
         )
 
 
@@ -181,10 +210,12 @@ def chained_lk(
     kick: str = "random_walk",
     lk_config: LKConfig | None = None,
     free_init: bool = False,
+    polish: tuple = (),
     rng=None,
 ) -> ChainedLKResult:
     """One-shot convenience wrapper around :class:`ChainedLK`."""
-    solver = ChainedLK(instance, kick=kick, lk_config=lk_config, rng=rng)
+    solver = ChainedLK(instance, kick=kick, lk_config=lk_config, rng=rng,
+                       polish=polish)
     return solver.run(
         budget_vsec=budget_vsec, max_kicks=max_kicks,
         target_length=target_length, free_init=free_init,

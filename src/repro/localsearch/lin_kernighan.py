@@ -17,21 +17,23 @@ best-first with the standard lookahead score ``G - d(u,v) + d(v,w)``, with
 configurable breadth at the first levels (linkern-style backtracking) and
 greedy descent below.
 
-Don't-look bits restrict attention to recently touched cities, which is
-what makes Chained LK cheap after a kick: only the cities incident to the
-kick's edges are woken.
+The machinery — row-cached distances, the don't-look queue, operation
+telemetry — comes from the shared engine layer
+(:mod:`repro.localsearch.engine`); candidate lists come from a pluggable
+provider (:mod:`repro.tsp.candidates`) selected by ``LKConfig.candidate_set``.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
 
+from ..tsp import candidates as _cands
 from ..tsp.tour import Tour
 from ..utils.work import WorkMeter
+from .engine import DistView, DontLookQueue, OpStats, register_operator
 
 __all__ = ["LKConfig", "LinKernighan", "lin_kernighan"]
 
@@ -40,21 +42,45 @@ __all__ = ["LKConfig", "LinKernighan", "lin_kernighan"]
 class LKConfig:
     """Tuning knobs for the LK engine (defaults mirror linkern's spirit)."""
 
-    #: Neighbour-list size for candidate edges.
+    #: Candidate-list size (k-NN width; quadrant uses k // 4 per quadrant).
     neighbor_k: int = 8
     #: Maximum chain depth (number of flips in one LK move).
     max_depth: int = 50
     #: Candidate breadth per level; levels beyond the tuple are greedy (1).
     breadth: tuple = (5, 3, 1)
     #: Use quadrant neighbour lists instead of plain k-NN when geometric.
+    #: Legacy knob; equivalent to ``candidate_set="quadrant"``.
     use_quadrant_neighbors: bool = False
+    #: Candidate-set provider name (see
+    #: :func:`repro.tsp.candidates.candidate_set_names`).
+    candidate_set: str = "knn"
+
+    def __post_init__(self) -> None:
+        if self.neighbor_k < 1:
+            raise ValueError(f"neighbor_k must be >= 1, got {self.neighbor_k}")
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        if not self.breadth:
+            raise ValueError("breadth must name at least one level")
+        if any(int(b) < 1 for b in self.breadth):
+            raise ValueError(f"breadth levels must be >= 1, got {self.breadth}")
+        if self.candidate_set not in _cands.CANDIDATE_SETS:
+            raise ValueError(
+                f"unknown candidate set {self.candidate_set!r}; "
+                f"known: {_cands.candidate_set_names()}"
+            )
 
     def breadth_at(self, level: int) -> int:
         if level < len(self.breadth):
             return max(1, int(self.breadth[level]))
         return 1
 
-
+    def make_candidates(self) -> "_cands.CandidateSet":
+        """Instantiate the configured candidate provider."""
+        name = self.candidate_set
+        if self.use_quadrant_neighbors and name == "knn":
+            name = "quadrant"
+        return _cands.get_candidate_set(name, k=self.neighbor_k)
 
 
 class LinKernighan:
@@ -62,29 +88,49 @@ class LinKernighan:
 
     Construct once per instance (neighbour lists are built eagerly), then
     call :meth:`optimize` on any tour of that instance.  The object is
-    stateless between calls except for scratch buffers.
+    stateless between calls except for scratch buffers; :attr:`stats`
+    accumulates :class:`~repro.localsearch.engine.OpStats` telemetry over
+    the object's lifetime (window with ``stats.copy()`` / subtraction).
+
+    ``candidates`` overrides the config's provider: a
+    :class:`~repro.tsp.candidates.CandidateSet`, a registry name, or a
+    raw ``(n, k)`` array (assumed distance-sorted per row).
     """
 
-    def __init__(self, instance, config: LKConfig | None = None):
+    def __init__(self, instance, config: LKConfig | None = None,
+                 candidates=None):
         self.instance = instance
         self.config = config or LKConfig()
-        k = min(self.config.neighbor_k, instance.n - 1)
-        if self.config.use_quadrant_neighbors and instance.is_geometric:
-            per_quad = max(1, k // 4)
-            self.neighbors = instance.quadrant_neighbor_lists(per_quad)
-            self._neighbor_rows = instance.quadrant_neighbor_row_lists(per_quad)
-        else:
-            self.neighbors = instance.neighbor_lists(k)
-            self._neighbor_rows = instance.neighbor_row_lists(k)
-        self._in_queue = np.zeros(instance.n, dtype=bool)
+        if candidates is None:
+            candidates = self.config.make_candidates()
+        self.candidates = _cands.as_candidate_set(candidates)
+        self._neighbors = self.candidates.lists(instance)
+        self._neighbor_rows = self.candidates.row_lists(instance)
+        self._dlq = DontLookQueue(instance.n)
+        self.stats = OpStats()
         # Hot-loop distance access: plain nested lists beat numpy scalar
-        # indexing by ~3x; fall back to the instance closure when the
-        # dense matrix would not fit.  Both list forms are cached on the
-        # instance so the nodes of a distributed run share one copy
-        # instead of re-materializing O(n^2) Python objects each.
-        self._dist_rows = instance.matrix_row_lists()
-        if self._dist_rows is None:
-            self._dist_fn = instance.dist
+        # indexing by ~3x; the view falls back to the instance closure
+        # when the dense matrix would not fit.  Rows are cached on the
+        # instance, so the nodes of a distributed run share one copy.
+        self.view = DistView(instance)
+        self._dist_rows = self.view.rows
+
+    # -- candidate-list access -----------------------------------------------
+
+    @property
+    def neighbors(self) -> np.ndarray:
+        """Candidate array, ``(n, k)``, each row distance-sorted."""
+        return self._neighbors
+
+    @neighbors.setter
+    def neighbors(self, array) -> None:
+        # Back-compat hook (baselines historically swapped the array in
+        # place); routes through ExplicitCandidates so the hot-loop row
+        # lists stay in sync with the array.
+        provider = _cands.as_candidate_set(array)
+        self.candidates = provider
+        self._neighbors = provider.lists(self.instance)
+        self._neighbor_rows = provider.row_lists(self.instance)
 
     # -- public API ---------------------------------------------------------
 
@@ -108,41 +154,34 @@ class LinKernighan:
         if tour.instance is not self.instance:
             raise ValueError("tour belongs to a different instance")
         meter = meter if meter is not None else WorkMeter()
-        n = tour.n
+        stats = self.stats
+        stats.calls += 1
 
-        in_queue = self._in_queue
-        in_queue[:] = False
+        queue = self._dlq
+        queue.clear()
         if dirty is None:
-            queue = deque(int(c) for c in tour.order)
-            in_queue[:] = True
+            queue.fill(tour.order)
         else:
-            queue = deque()
-            for c in dirty:
-                c = int(c)
-                if not in_queue[c]:
-                    in_queue[c] = True
-                    queue.append(c)
+            queue.seed(dirty)
 
+        wakeups0 = queue.wakeups
         total = 0
         while queue and not meter.exhausted():
-            t1 = queue.popleft()
-            in_queue[t1] = False
+            t1 = queue.pop()
             gain, touched = self._improve_city(tour, t1, meter, fixed)
             if gain > 0:
                 total += gain
+                stats.moves += 1
                 for c in touched:
-                    if not in_queue[c]:
-                        in_queue[c] = True
-                        queue.append(c)
+                    queue.push(c)
+        stats.queue_wakeups += queue.wakeups - wakeups0
+        stats.gain += total
         return total
 
     # -- internals -----------------------------------------------------------
 
     def _dist(self, i: int, j: int) -> int:
-        rows = self._dist_rows
-        if rows is not None:
-            return rows[i][j]
-        return self._dist_fn(i, j)
+        return self.view.dist(i, j)
 
     def _apply_flip(self, tour: Tour, t1: int, u: int, v: int, w: int,
                     meter: WorkMeter) -> int:
@@ -151,7 +190,7 @@ class LinKernighan:
         Returns the signed length delta.  Orientation-safe: works whether
         ``u`` is the successor or predecessor of ``t1`` in the array.
         """
-        d = self._dist
+        d = self.view.dist
         delta = d(t1, w) + d(u, v) - d(t1, u) - d(v, w)
         if tour.next(t1) == u:
             # forward: t1 -> u ... w -> v; reverse u..w
@@ -162,6 +201,7 @@ class LinKernighan:
             assert tour.prev(t1) == u and tour.next(v) == w, "invalid flip"
             moved = tour.reverse_segment(tour.position[w], tour.position[u])
         tour.length += delta
+        self.stats.segment_swaps += moved
         meter.tick(moved + 1)
         return delta
 
@@ -190,9 +230,9 @@ class LinKernighan:
         Yields at most ``breadth`` pairs ordered by the lookahead score
         ``g_open - d(u, v) + d(v, w)``.
         """
-        rows = self._dist_rows
+        rows = self.view.rows
         du = rows[u] if rows is not None else None
-        dist = self._dist_fn if du is None else None
+        dist = None if du is not None else self.view.dist
         forward = tour.next(t1) == u
         order = tour.order
         position = tour.position
@@ -222,6 +262,7 @@ class LinKernighan:
             dvw = rows[v][w] if rows is not None else dist(v, w)
             out.append((g_open - duv + dvw, duv, dvw, v, w))
         meter.tick(scanned)
+        self.stats.candidate_scans += scanned
         out.sort(reverse=True)
         return out[:breadth]
 
@@ -234,6 +275,7 @@ class LinKernighan:
         improvement is kept (first-improvement, as in linkern).
         """
         cfg = self.config
+        stats = self.stats
         flips: list[tuple] = []  # (t1, u, v, w) per applied flip
         touched: set[int] = {t1, u0}
 
@@ -249,6 +291,7 @@ class LinKernighan:
                 ft1, fu, fv, fw = flips.pop()
                 # Inverse flip: remove {t1,w},{u,v}; add back {t1,u},{v,w}.
                 self._apply_flip(tour, ft1, fw, fv, fu, meter)
+                stats.flips_undone += 1
                 removed.discard((fv, fw))
                 removed.discard((fw, fv))
                 added.discard((fu, fv))
@@ -265,6 +308,7 @@ class LinKernighan:
             )
             for _score, duv, dvw, v, w in cands:
                 d = self._apply_flip(tour, t1, u, v, w, meter)
+                stats.flips_applied += 1
                 flips.append((t1, u, v, w))
                 removed.add((v, w))
                 removed.add((w, v))
@@ -296,10 +340,30 @@ def lin_kernighan(
     config: LKConfig | None = None,
     meter: WorkMeter | None = None,
     dirty: Optional[Iterable[int]] = None,
+    fixed: Optional[set] = None,
+    candidates=None,
+    stats: OpStats | None = None,
 ) -> int:
     """One-shot convenience wrapper around :class:`LinKernighan`.
 
     Prefer constructing :class:`LinKernighan` once when optimizing many
-    tours of the same instance (neighbour lists are reused).
+    tours of the same instance (neighbour lists are reused).  ``fixed``
+    protects directed edge pairs exactly as in
+    :meth:`LinKernighan.optimize`; ``stats``, when given, receives the
+    call's :class:`~repro.localsearch.engine.OpStats`.
     """
-    return LinKernighan(tour.instance, config).optimize(tour, meter, dirty)
+    engine = LinKernighan(tour.instance, config, candidates=candidates)
+    gain = engine.optimize(tour, meter, dirty, fixed=fixed)
+    if stats is not None:
+        stats.merge(engine.stats)
+    return gain
+
+
+@register_operator("lk")
+def _lk_operator(tour: Tour, *, candidates=None, meter=None, stats=None,
+                 config: LKConfig | None = None, **kwargs) -> int:
+    """Registry adapter: LK under the uniform operator interface."""
+    return lin_kernighan(
+        tour, config, meter=meter, candidates=candidates, stats=stats,
+        **kwargs,
+    )

@@ -14,19 +14,20 @@ types on an array tour:
   double-bridge-like pure reorder; the only one not expressible as
   2-opts without intermediate worsening)
 
-Candidates come from neighbour lists with gain-based pruning, and
-don't-look bits keep re-optimization local — the same machinery as
-:mod:`repro.localsearch.two_opt`, one level up.
+Candidates come from the pluggable provider layer with gain-based
+pruning, and the shared engine's don't-look queue keeps re-optimization
+local — the same machinery as :mod:`repro.localsearch.two_opt`, one
+level up.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
+from ..tsp.candidates import KNNCandidates, as_candidate_set
 from ..tsp.tour import Tour
 from ..utils.work import WorkMeter
+from .engine import DistView, DontLookQueue, OpStats, register_operator
 
 __all__ = ["three_opt"]
 
@@ -63,9 +64,12 @@ def _two_opt_by_edges(tour: Tour, p: int, q: int, r: int, s: int) -> int:
     return tour.reverse_segment(tour.position[q], tour.position[r])
 
 
+@register_operator("three_opt")
 def three_opt(tour: Tour, neighbor_k: int = 6,
-              meter: WorkMeter | None = None) -> int:
-    """Optimize ``tour`` in place to 3-opt optimality over k-NN candidates.
+              meter: WorkMeter | None = None, *, candidates=None,
+              stats: OpStats | None = None,
+              view: DistView | None = None) -> int:
+    """Optimize ``tour`` in place to 3-opt optimality over the candidates.
 
     First-improvement over the four move types; returns the total gain.
     O(n * k^2) per sweep — noticeably slower than LK for the same
@@ -78,43 +82,52 @@ def three_opt(tour: Tour, neighbor_k: int = 6,
     if n < 6:
         return 0
     meter = meter if meter is not None else WorkMeter()
-    neighbors = inst.neighbor_lists(min(neighbor_k, n - 1))
-    dist = inst.dist
+    stats = stats if stats is not None else OpStats()
+    provider = (
+        as_candidate_set(candidates) if candidates is not None
+        else KNNCandidates(min(neighbor_k, n - 1))
+    )
+    neighbor_rows = provider.row_lists(inst)
+    view = view if view is not None else DistView(inst)
+    rows = view.rows
+    dist = view.dist
+
+    def d(i, j):
+        return rows[i][j] if rows is not None else dist(i, j)
 
     # 3-opt subsumes 2-opt; reach the 2-opt fixpoint first so the triple
     # scan below only hunts for genuine 3-exchanges.
-    total_2opt = two_opt(tour, neighbor_k=neighbor_k, meter=meter)
+    total_2opt = two_opt(tour, meter=meter, candidates=provider,
+                         stats=stats, view=view)
 
-    queue = deque(range(n))
-    in_queue = np.ones(n, dtype=bool)
+    queue = DontLookQueue(n)
+    queue.fill(range(n))
     total = 0
-
-    def wake(*cities) -> None:
-        for c in cities:
-            c = int(c)
-            if not in_queue[c]:
-                in_queue[c] = True
-                queue.append(c)
+    scanned = 0
+    moves = 0
+    swaps = 0
 
     def try_city(a: int) -> int:
         """Search one improving 3-opt move with first removed edge at
         ``(a, next(a))``; returns the (positive) gain or 0."""
+        nonlocal scanned, swaps
         pa = int(tour.position[a])
         b = tour.next(a)
-        d_ab = dist(a, b)
-        for c in neighbors[a]:
-            c = int(c)
+        da = rows[a] if rows is not None else None
+        d_ab = da[b] if da is not None else dist(a, b)
+        for c in neighbor_rows[a]:
             meter.tick()
+            scanned += 1
             if c == a or c == b:
                 continue
-            d_cd = dist(c, tour.next(c))
+            d_cd = d(c, tour.next(c))
             g1 = d_ab + d_cd
-            d_ac = dist(a, c)
+            d_ac = da[c] if da is not None else dist(a, c)
             if d_ac >= g1:
                 continue
-            for e in neighbors[b]:
-                e = int(e)
+            for e in neighbor_rows[b]:
                 meter.tick()
+                scanned += 1
                 if e in (a, b, c):
                     continue
                 f = tour.next(e)
@@ -127,21 +140,21 @@ def three_opt(tour: Tour, neighbor_k: int = 6,
                 re = (pe - pa) % n
                 if not (0 < rc < re):
                     continue
-                d = tour.next(c)
-                d_ef = dist(e, f)
+                dd = tour.next(c)
+                d_ef = d(e, f)
                 removed = d_ab + d_cd + d_ef
                 # The four reconnections.
-                candidates = (
+                moves_considered = (
                     # type 1: a-c b-d, e-f kept -> plain 2-opt on (a,c)
-                    (d_ac + dist(b, d) + d_ef, 1),
+                    (d_ac + d(b, dd) + d_ef, 1),
                     # type 2: c-e d-f, a-b kept -> 2-opt on (c,e)
-                    (d_ab + dist(c, e) + dist(d, f), 2),
+                    (d_ab + d(c, e) + d(dd, f), 2),
                     # type 3: a-c b-e d-f (both reversals)
-                    (d_ac + dist(b, e) + dist(d, f), 3),
+                    (d_ac + d(b, e) + d(dd, f), 3),
                     # type 4: a-d e-b c-f (segment exchange)
-                    (dist(a, d) + dist(e, b) + dist(c, f), 4),
+                    (d(a, dd) + d(e, b) + d(c, f), 4),
                 )
-                for added, move in candidates:
+                for added, move in moves_considered:
                     delta = added - removed
                     if delta < 0:
                         gain = -delta
@@ -156,23 +169,32 @@ def three_opt(tour: Tour, neighbor_k: int = 6,
                             # (shorter-side trick), so the second
                             # exchange goes by edges, not positions.
                             moved = tour.reverse_segment((pa + 1) % n, pc)
-                            moved += _two_opt_by_edges(tour, b, d, e, f)
+                            moved += _two_opt_by_edges(tour, b, dd, e, f)
                         else:
                             _apply_type4(tour, pa, rc, re)
                             moved = re
                         meter.tick(moved + 1)
+                        swaps += moved
                         tour.length += delta
-                        wake(a, b, c, d, e, f)
+                        for city in (a, b, c, dd, e, f):
+                            queue.push(int(city))
                         return gain
         return 0
 
     while queue and not meter.exhausted():
-        a = int(queue.popleft())
-        in_queue[a] = False
+        a = queue.pop()
         gain = try_city(a)
         if gain > 0:
             total += gain
-            wake(a)
+            moves += 1
+            queue.push(a)
             # Interleave: a 3-exchange may open plain 2-opt gains.
-            total += two_opt(tour, neighbor_k=neighbor_k, meter=meter)
+            total += two_opt(tour, meter=meter, candidates=provider,
+                             stats=stats, view=view)
+    stats.calls += 1
+    stats.candidate_scans += scanned
+    stats.moves += moves
+    stats.segment_swaps += swaps
+    stats.queue_wakeups += queue.wakeups
+    stats.gain += total
     return total + total_2opt

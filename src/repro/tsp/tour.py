@@ -24,7 +24,7 @@ __all__ = ["Tour", "random_tour"]
 class Tour:
     """A mutable Hamiltonian cycle over the cities of a TSP instance."""
 
-    __slots__ = ("instance", "order", "position", "length", "n")
+    __slots__ = ("instance", "order", "position", "length", "n", "_iota")
 
     def __init__(self, instance, order: Iterable[int], length: Optional[int] = None):
         self.instance = instance
@@ -35,7 +35,11 @@ class Tour:
             raise ValueError(f"tour must have {self.n} cities, got {arr.shape}")
         self.order = arr
         self.position = np.empty(self.n, dtype=np.intp)
-        self.position[arr] = np.arange(self.n, dtype=np.intp)
+        # Read-only 0..n-1 ramp; sliced instead of re-allocated in the
+        # position updates of every reversal (hot path).
+        self._iota = np.arange(self.n, dtype=np.intp)
+        self._iota.setflags(write=False)
+        self.position[arr] = self._iota
         if np.any(np.bincount(arr, minlength=self.n) != 1):
             raise ValueError("order is not a permutation of 0..n-1")
         self.length = int(length) if length is not None else self.recompute_length()
@@ -50,6 +54,7 @@ class Tour:
         t.order = self.order.copy()
         t.position = self.position.copy()
         t.length = self.length
+        t._iota = self._iota  # immutable, shared
         return t
 
     @classmethod
@@ -117,21 +122,18 @@ class Tour:
             inner = n - inner
         order, position = self.order, self.position
         swaps = inner // 2
-        if swaps and i <= j:
+        if not swaps:
+            return 0
+        if i <= j:
             # Contiguous segment: vectorized reversal.
             order[i : j + 1] = order[i : j + 1][::-1]
-            position[order[i : j + 1]] = np.arange(i, j + 1)
+            position[order[i : j + 1]] = self._iota[i : j + 1]
             return swaps
-        for _ in range(swaps):
-            a, b = order[i], order[j]
-            order[i], order[j] = b, a
-            position[a], position[b] = j, i
-            i += 1
-            if i == n:
-                i = 0
-            j -= 1
-            if j < 0:
-                j = n - 1
+        # Wrapped segment: same reversal through a modular index vector
+        # (one fancy-indexed assignment instead of a per-element loop).
+        idx = np.arange(i, i + inner) % n
+        order[idx] = order[idx][::-1]
+        position[order[idx]] = idx
         return swaps
 
     def two_opt_move(self, a: int, b: int, c: int, d: int, delta: int) -> None:
@@ -175,7 +177,7 @@ class Tour:
             + inst.dist(b[-1], a[0])
         )
         self.order = new_order
-        self.position[new_order] = np.arange(n, dtype=np.intp)
+        self.position[new_order] = self._iota
         self.length += int(new - old)
 
     # -- misc ----------------------------------------------------------------------

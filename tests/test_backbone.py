@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import solve
 from repro.core.backbone import ElitePool, backbone_edges, edge_counts
-from repro.localsearch import LinKernighan, LKConfig, chained_lk
+from repro.localsearch import LinKernighan, chained_lk
 from repro.tsp import generators
 from repro.tsp.tour import Tour, random_tour
 

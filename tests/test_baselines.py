@@ -15,7 +15,6 @@ from repro.baselines import (
 from repro.bounds import held_karp_exact, minimum_one_tree
 from repro.localsearch import chained_lk
 from repro.tsp import generators
-from repro.tsp.tour import Tour
 
 
 class TestAlpha:

@@ -1,6 +1,5 @@
 """Tests for the branch-and-bound exact solver."""
 
-import numpy as np
 import pytest
 
 from repro.bounds import held_karp_exact

@@ -59,7 +59,6 @@ class TestRun:
         from repro.construct import nearest_neighbor
 
         init = nearest_neighbor(small_instance, start=0)
-        res = chained_lk(small_instance, max_kicks=3, rng=0)
         solver = ChainedLK(small_instance, rng=0)
         res2 = solver.run(max_kicks=3, initial=init)
         assert res2.tour.is_valid()

@@ -1,6 +1,5 @@
 """Tests for node churn and gossip dissemination (P2P extensions)."""
 
-import numpy as np
 import pytest
 
 from repro.core import solve

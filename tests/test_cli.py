@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main, resolve_instance
-from repro.tsp import generators, tsplib
+from repro.tsp import tsplib
 
 
 class TestResolveInstance:

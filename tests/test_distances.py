@@ -1,6 +1,5 @@
 """Tests for TSPLIB distance functions."""
 
-import math
 
 import numpy as np
 import pytest

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import NodeConfig, replicate, solve
-from repro.distributed.simulator import SimulationResult
 from repro.tsp import generators
 
 

@@ -104,9 +104,12 @@ class TestBudgetEdges:
 
 class TestConfigValidation:
     def test_lk_breadth_never_zero(self):
-        cfg = LKConfig(breadth=(0, -1))
-        assert cfg.breadth_at(0) == 1
-        assert cfg.breadth_at(1) == 1
+        # Non-positive breadth levels are now rejected at construction
+        # (they used to be silently clamped to 1).
+        with pytest.raises(ValueError, match="breadth"):
+            LKConfig(breadth=(0, -1))
+        # Levels beyond the configured tuple stay greedy.
+        assert LKConfig(breadth=(5, 3)).breadth_at(7) == 1
 
     def test_solve_rejects_unknown_kick(self, small_instance):
         with pytest.raises(KeyError, match="choices"):

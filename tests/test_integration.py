@@ -5,11 +5,9 @@ protocol of the evaluation section, wired through real public API calls.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     excess_percent,
-    mean_excess_percent,
     success_count,
     time_to_target,
 )

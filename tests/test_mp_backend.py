@@ -11,7 +11,6 @@ must return, not hang.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.node import NodeConfig

@@ -6,8 +6,6 @@ import pytest
 from repro.core.events import EventKind
 from repro.core.node import EANode, NodeConfig
 from repro.distributed.message import Message, MessageKind
-from repro.tsp import generators
-from repro.tsp.tour import random_tour
 
 
 @pytest.fixture

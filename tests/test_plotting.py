@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis import plot_instance, plot_tour
 from repro.localsearch import chained_lk
-from repro.tsp import generators
 from repro.tsp.tour import Tour
 
 

@@ -9,7 +9,7 @@ from repro.core.backbone import backbone_edges
 from repro.localsearch import or_opt
 from repro.localsearch.kicks import KICK_STRATEGIES
 from repro.tsp.instance import TSPInstance
-from repro.tsp.tour import Tour, random_tour
+from repro.tsp.tour import random_tour
 
 COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
 

@@ -1,10 +1,12 @@
 """Tests for run persistence (save/load of experiment results)."""
 
+import json
+
 import pytest
 
 from repro.analysis.runio import load_run, save_run
 from repro.core import solve
-from repro.localsearch import chained_lk
+from repro.localsearch import OpStats, chained_lk
 from repro.tsp import generators
 
 
@@ -23,6 +25,27 @@ class TestClkRoundTrip:
         assert back.trace == [(float(t), int(l)) for t, l in res.trace]
         assert back.kicks == res.kicks
         assert back.tour.is_valid()
+
+    def test_op_stats_roundtrip(self, inst, tmp_path):
+        res = chained_lk(inst, max_kicks=8, rng=1)
+        path = tmp_path / "clk.json"
+        save_run(res, path)
+        back = load_run(path, inst)
+        assert back.op_stats == res.op_stats
+        assert back.op_stats.candidate_scans > 0
+
+    def test_old_file_without_op_stats(self, inst, tmp_path):
+        # Run files written before the engine telemetry existed must
+        # still load, with zeroed stats.
+        res = chained_lk(inst, max_kicks=3, rng=4)
+        path = tmp_path / "clk.json"
+        save_run(res, path)
+        doc = json.loads(path.read_text())
+        del doc["op_stats"]
+        path.write_text(json.dumps(doc))
+        back = load_run(path, inst)
+        assert back.op_stats == OpStats()
+        assert back.length == res.length
 
     def test_wrong_instance_rejected(self, inst, tmp_path):
         res = chained_lk(inst, max_kicks=3, rng=2)
@@ -54,6 +77,30 @@ class TestDistributedRoundTrip:
             ]
         # time_to_quality works on the loaded object.
         assert back.time_to_quality(res.best_length) is not None
+
+    def test_op_stats_roundtrip(self, inst, tmp_path):
+        res = solve(inst, budget_vsec_per_node=0.3, n_nodes=2,
+                    topology="ring", rng=3)
+        path = tmp_path / "dist.json"
+        save_run(res, path)
+        back = load_run(path, inst)
+        assert set(back.op_stats) == set(res.op_stats)
+        for nid, stats in res.op_stats.items():
+            assert back.op_stats[nid] == stats
+        assert back.total_op_stats() == res.total_op_stats()
+
+    def test_old_file_without_op_stats(self, inst, tmp_path):
+        res = solve(inst, budget_vsec_per_node=0.2, n_nodes=2,
+                    topology="ring", rng=5)
+        path = tmp_path / "dist.json"
+        save_run(res, path)
+        doc = json.loads(path.read_text())
+        del doc["op_stats"]
+        path.write_text(json.dumps(doc))
+        back = load_run(path, inst)
+        assert back.op_stats == {}
+        assert back.total_op_stats() == OpStats()
+        assert back.best_length == res.best_length
 
     def test_unknown_type_rejected(self, inst, tmp_path):
         with pytest.raises(TypeError, match="serialize"):

@@ -1,11 +1,9 @@
 """Tests for the discrete-event simulator and the solve() driver."""
 
-import numpy as np
 import pytest
 
 from repro.bounds import held_karp_exact
 from repro.core import solve, replicate
-from repro.core.node import NodeConfig
 from repro.distributed.network import LatencyModel
 from repro.distributed.simulator import Simulator, run_simulation
 from repro.tsp import generators

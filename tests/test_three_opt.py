@@ -1,7 +1,6 @@
 """Tests for the 3-opt local search."""
 
 import numpy as np
-import pytest
 
 from repro.bounds import held_karp_exact
 from repro.localsearch import three_opt, two_opt

@@ -1,6 +1,5 @@
 """Tests for network topologies and the bootstrap hub."""
 
-import numpy as np
 import pytest
 
 from repro.distributed.hub import BootstrapNode, Hub

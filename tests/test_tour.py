@@ -94,7 +94,6 @@ class TestReverseSegment:
         # Reversing a segment or its complement yields the same cyclic tour.
         t1 = Tour.identity(small_instance)
         t2 = Tour.identity(small_instance)
-        n = small_instance.n
         t1.reverse_segment(2, 5)
         t2.reverse_segment(6, 1)  # complement (shorter-side logic aside)
         assert t1.edge_set() == t2.edge_set()
@@ -103,6 +102,47 @@ class TestReverseSegment:
         t = Tour.identity(small_instance)
         assert t.reverse_segment(0, 4) == 2
         assert t.reverse_segment(0, 0) == 0
+
+    def test_property_matches_naive_reference(self, tiny_instance, rng):
+        # Exhaustive over all (i, j) on n=9: the vectorized reversal
+        # (contiguous slice or wrapped fancy-index) must produce the same
+        # cyclic tour as a naive per-element reversal of positions i..j,
+        # keep position as the exact inverse of order, and report
+        # shorter-side swap work.
+        n = tiny_instance.n
+        base = random_tour(tiny_instance, rng)
+        for i in range(n):
+            for j in range(n):
+                t = base.copy()
+                swaps = t.reverse_segment(i, j)
+                assert t.is_valid(), (i, j)
+                ref = _naive_reverse(base.order, i, j)
+                assert t == Tour(tiny_instance, ref), (i, j)
+                inner = (j - i) % n + 1
+                assert swaps == min(inner, n - inner) // 2, (i, j)
+
+    def test_wrapped_reverse_matches_reference_random(self, small_instance, rng):
+        n = small_instance.n
+        for _ in range(50):
+            i, j = (int(v) for v in rng.integers(0, n, size=2))
+            t = random_tour(small_instance, rng)
+            ref = _naive_reverse(t.order, i, j)
+            t.reverse_segment(i, j)
+            assert t.is_valid(), (i, j)
+            assert t == Tour(small_instance, ref), (i, j)
+
+
+def _naive_reverse(order, i, j):
+    """Reference: reverse cyclic positions i..j with per-element swaps."""
+    out = order.tolist()
+    n = len(out)
+    count = (j - i) % n + 1
+    lo, hi = i, j
+    for _ in range(count // 2):
+        out[lo % n], out[hi % n] = out[hi % n], out[lo % n]
+        lo += 1
+        hi -= 1
+    return np.array(out)
 
 
 class TestTwoOptMove:
