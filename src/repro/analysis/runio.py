@@ -84,6 +84,8 @@ def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
                 "tour_messages": result.network_stats.tour_messages,
                 "notification_messages":
                     result.network_stats.notification_messages,
+                "delivered": result.network_stats.delivered,
+                "dropped": result.network_stats.dropped,
                 "broadcast_log": [
                     [int(s), float(t)]
                     for s, t in result.network_stats.broadcast_log
@@ -137,6 +139,9 @@ def load_run(path: Union[str, Path], instance):
             messages=doc["network"]["messages"],
             tour_messages=doc["network"]["tour_messages"],
             notification_messages=doc["network"]["notification_messages"],
+            # Older run files predate the conservation counters.
+            delivered=doc["network"].get("delivered", 0),
+            dropped=doc["network"].get("dropped", 0),
             broadcast_log=[(s, t) for s, t in doc["network"]["broadcast_log"]],
             gossip_log=[
                 (s, t) for s, t in doc["network"].get("gossip_log", [])

@@ -48,8 +48,11 @@ class TourMergingResult:
 def union_candidate_lists(instance, tours: list[Tour]) -> np.ndarray:
     """Adjacency lists of the union graph of the tours' edges.
 
-    Rows are padded (cycled) to equal width so the LK engine can consume
-    them like ordinary neighbour arrays; each row is sorted by distance.
+    Rows are padded to equal width so the LK engine can consume them
+    like ordinary neighbour arrays; each row is sorted by distance and
+    short rows repeat their *farthest* entry, which keeps the
+    distance-sorted-row invariant intact (cycling from the nearest one
+    would not).
     """
     n = instance.n
     adj: list[set[int]] = [set() for _ in range(n)]
@@ -65,8 +68,8 @@ def union_candidate_lists(instance, tours: list[Tour]) -> np.ndarray:
         cand = np.fromiter(s, dtype=np.int64, count=len(s))
         d = instance.dist_many(i, cand)
         cand = cand[np.lexsort((cand, d))]
-        reps = int(np.ceil(width / len(cand)))
-        out[i] = np.tile(cand, reps)[:width]
+        out[i, :len(cand)] = cand
+        out[i, len(cand):] = cand[-1]
     return out
 
 

@@ -36,6 +36,7 @@ from ..localsearch.kicks import apply_double_bridge
 from ..localsearch.lin_kernighan import LKConfig
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng
+from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import OPS_PER_VSEC as _OPS_PER_VSEC, WorkMeter
 from ..distributed.message import Message, MessageKind
 from .backbone import ElitePool
@@ -44,7 +45,7 @@ from .events import EventKind, EventLog
 __all__ = ["NodeConfig", "SelectOutcome", "EANode"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeConfig:
     """Per-node algorithm parameters (paper defaults)."""
 
@@ -76,7 +77,7 @@ class NodeConfig:
         return replace(self, target_length=target)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelectOutcome:
     """Result of one selection step."""
 
@@ -219,7 +220,16 @@ class EANode:
             if m.order is not None and m.kind in (
                 MessageKind.TOUR, MessageKind.OPTIMUM_FOUND
             ):
-                received.append(Tour(self.instance, m.order, m.length))
+                tour = Tour(self.instance, m.order, m.length)
+                if sanitize_enabled():
+                    # The constructor trusts the wire length; verify the
+                    # payload really is a permutation of that length.
+                    check_tour(
+                        tour,
+                        f"tour received by node {self.node_id} "
+                        f"from node {m.sender}",
+                    )
+                received.append(tour)
         if self._elite is not None:
             self._elite.add(candidate)
             for t in received:

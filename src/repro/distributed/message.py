@@ -37,7 +37,7 @@ class MessageKind(enum.Enum):
     OPTIMUM_FOUND = "optimum_found"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One network message.
 

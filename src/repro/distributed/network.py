@@ -50,6 +50,13 @@ class NetworkStats:
     messages: int = 0
     tour_messages: int = 0
     notification_messages: int = 0
+    #: Message copies drained by receivers (conservation accounting:
+    #: messages == delivered + dropped + in-flight at all times).
+    delivered: int = 0
+    #: Copies discarded in transit.  Always 0 for the lossless simulated
+    #: transport; the counter keeps the conservation identity checkable
+    #: for future lossy latency models.
+    dropped: int = 0
     #: (sender, sent_at) per broadcast, for the timing histogram.
     broadcast_log: list = field(default_factory=list)
     #: (sender, sent_at) per gossip tour push.
@@ -135,6 +142,7 @@ class SimulatedNetwork:
         out = []
         while inbox and inbox[0][0] <= up_to:
             out.append(heapq.heappop(inbox)[2])
+        self.stats.delivered += len(out)
         return out
 
     def pending(self, node_id: int) -> int:

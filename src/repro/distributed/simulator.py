@@ -23,6 +23,11 @@ from typing import Optional
 from ..core.node import EANode, NodeConfig
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng, spawn_rngs
+from ..utils.sanitize import (
+    check_message_conservation,
+    check_tour,
+    sanitize_enabled,
+)
 from .churn import make_schedule, validate_schedule
 from .message import MessageKind, tour_payload
 from .network import LatencyModel, NetworkStats, SimulatedNetwork
@@ -135,6 +140,9 @@ class Simulator:
         }
         for node_id, at in self._join_at.items():
             self.nodes[node_id].clock = at
+        # Read the env flag once at construction; per-step checks must not
+        # re-read the environment (cost and mid-run toggling both).
+        self._sanitize = sanitize_enabled()
 
     def run(self, budget_vsec_per_node: float) -> SimulationResult:
         """Run until every node terminates; budget is per node, as in the
@@ -160,6 +168,10 @@ class Simulator:
             node.clock += work
             messages = net.collect(node.node_id, node.clock)
             outcome = node.select(candidate, messages)
+            if self._sanitize:
+                check_message_conservation(
+                    net, context=f"after step of node {node.node_id}"
+                )
             if outcome.broadcast is not None:
                 order, length = tour_payload(outcome.broadcast)
                 self._disseminate(node, length, order)
@@ -211,6 +223,9 @@ class Simulator:
             (n for n in nodes if n.s_best is not None),
             key=lambda n: (n.s_best.length, n.node_id),
         )
+        if self._sanitize:
+            check_tour(best_node.s_best, "simulation best tour")
+            check_message_conservation(self.network, context="end of run")
         # Merge improvement events into the global anytime curve.
         merged: list[tuple[float, int]] = []
         for n in nodes:

@@ -32,13 +32,14 @@ import numpy as np
 
 from ..tsp import candidates as _cands
 from ..tsp.tour import Tour
+from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import WorkMeter
 from .engine import DistView, DontLookQueue, OpStats, register_operator
 
 __all__ = ["LKConfig", "LinKernighan", "lin_kernighan"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LKConfig:
     """Tuning knobs for the LK engine (defaults mirror linkern's spirit)."""
 
@@ -176,6 +177,8 @@ class LinKernighan:
                     queue.push(c)
         stats.queue_wakeups += queue.wakeups - wakeups0
         stats.gain += total
+        if sanitize_enabled():
+            check_tour(tour, "lin_kernighan")
         return total
 
     # -- internals -----------------------------------------------------------

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..tsp.candidates import KNNCandidates, as_candidate_set
 from ..tsp.tour import Tour
+from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import WorkMeter
 from .engine import DistView, DontLookQueue, OpStats, register_operator
 
@@ -154,6 +155,8 @@ def or_opt(tour: Tour, neighbor_k: int = 8, max_seg: int = 3,
     stats.segment_swaps += swaps
     stats.queue_wakeups += queue.wakeups
     stats.gain += total
+    if sanitize_enabled():
+        check_tour(tour, "or_opt")
     return total
 
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..tsp.candidates import KNNCandidates, as_candidate_set
 from ..tsp.tour import Tour
+from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import WorkMeter
 from .engine import DistView, DontLookQueue, OpStats, register_operator
 
@@ -197,4 +198,6 @@ def three_opt(tour: Tour, neighbor_k: int = 6,
     stats.segment_swaps += swaps
     stats.queue_wakeups += queue.wakeups
     stats.gain += total
+    if sanitize_enabled():
+        check_tour(tour, "three_opt")
     return total + total_2opt

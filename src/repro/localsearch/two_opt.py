@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..tsp.candidates import KNNCandidates, as_candidate_set
 from ..tsp.tour import Tour
+from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import WorkMeter
 from .engine import DistView, DontLookQueue, OpStats, register_operator
 
@@ -160,4 +161,6 @@ def two_opt(tour: Tour, neighbor_k: int = 8, meter: WorkMeter | None = None,
     stats.segment_swaps += swaps
     stats.queue_wakeups += queue.wakeups
     stats.gain += total
+    if sanitize_enabled():
+        check_tour(tour, "two_opt")
     return total

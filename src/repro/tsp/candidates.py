@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..utils.sanitize import check_candidate_rows, sanitize_enabled
+
 __all__ = [
     "CandidateSet",
     "KNNCandidates",
@@ -71,6 +73,20 @@ class CandidateSet:
 
     # -- caching wrappers ----------------------------------------------------
 
+    def _checked(self, instance, array: np.ndarray) -> np.ndarray:
+        """Sanitizer hook: verify the sorted-row invariant once per
+        (instance, policy) under REPRO_SANITIZE=1 (results are cached on
+        the instance, so re-verifying every call would only re-read the
+        same array)."""
+        if sanitize_enabled():
+            marker = ("sanitized",) + self.cache_key()
+            if marker not in instance._neighbor_cache:
+                check_candidate_rows(
+                    instance, array, context=f"candidate set {self.name!r}"
+                )
+                instance._neighbor_cache[marker] = True
+        return array
+
     def lists(self, instance) -> np.ndarray:
         """Candidate array for ``instance`` (cached on the instance)."""
         key = ("cand",) + self.cache_key()
@@ -79,7 +95,7 @@ class CandidateSet:
             cached = self.build(instance)
             cached.setflags(write=False)
             instance._neighbor_cache[key] = cached
-        return cached
+        return self._checked(instance, cached)
 
     def row_lists(self, instance) -> list:
         """:meth:`lists` as per-city Python lists (the hot-loop form)."""
@@ -110,9 +126,11 @@ class KNNCandidates(CandidateSet):
         return instance.neighbor_lists(self.k)
 
     def lists(self, instance) -> np.ndarray:
-        return instance.neighbor_lists(self.k)
+        return self._checked(instance, instance.neighbor_lists(self.k))
 
     def row_lists(self, instance) -> list:
+        if sanitize_enabled():
+            self.lists(instance)  # one-time sorted-row verification
         return instance.neighbor_row_lists(self.k)
 
 
@@ -134,10 +152,14 @@ class QuadrantCandidates(CandidateSet):
 
     def lists(self, instance) -> np.ndarray:
         if instance.is_geometric:
-            return instance.quadrant_neighbor_lists(self.per_quadrant)
-        return instance.neighbor_lists(self.k)
+            return self._checked(
+                instance, instance.quadrant_neighbor_lists(self.per_quadrant)
+            )
+        return self._checked(instance, instance.neighbor_lists(self.k))
 
     def row_lists(self, instance) -> list:
+        if sanitize_enabled():
+            self.lists(instance)  # one-time sorted-row verification
         if instance.is_geometric:
             return instance.quadrant_neighbor_row_lists(self.per_quadrant)
         return instance.neighbor_row_lists(self.k)

@@ -89,6 +89,7 @@ class TSPInstance:
         """Number of cities."""
         if self.coords is not None:
             return int(self.coords.shape[0])
+        assert self.matrix is not None  # __post_init__ enforces one of the two
         return int(self.matrix.shape[0])
 
     @property
@@ -104,6 +105,7 @@ class TSPInstance:
         if m is not None:
             return int(m[i, j])
         if self._dist_fn is None:
+            assert self.coords is not None  # EXPLICIT always has _matrix_cache
             self._dist_fn = _dist.distance_closure(self.coords, self.edge_weight_type)
         return self._dist_fn(i, j)
 
@@ -112,11 +114,13 @@ class TSPInstance:
         m = self._matrix_cache
         if m is not None:
             return m[i, np.asarray(js, dtype=np.intp)]
+        assert self.coords is not None  # EXPLICIT always has _matrix_cache
         return _dist.row_distances(self.coords, i, js, self.edge_weight_type)
 
     def distance_matrix(self) -> np.ndarray:
         """Full ``(n, n)`` matrix (built lazily, cached; O(n^2) memory)."""
         if self._matrix_cache is None:
+            assert self.coords is not None  # EXPLICIT always has _matrix_cache
             self._matrix_cache = _dist.pairwise_matrix(
                 self.coords, self.edge_weight_type
             )
@@ -164,6 +168,7 @@ class TSPInstance:
             dy = self.coords[order, 1] - self.coords[nxt, 1]
             return int(fn(dx, dy).sum())
         if self.edge_weight_type == "GEO":
+            assert self.coords is not None
             return int(_dist.geo(self.coords[order], self.coords[nxt]).sum())
         raise AssertionError("unreachable")
 

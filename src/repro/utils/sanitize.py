@@ -1,0 +1,154 @@
+"""Runtime sanitizer: cheap-to-write, expensive-to-run invariant checks.
+
+Activated by the environment variable ``REPRO_SANITIZE=1`` (read once,
+at first query; see :func:`sanitize_enabled`).  When on, the engine and
+simulator re-verify after every operator call and scheduling step the
+invariants the static layer (``tools/reprolint``) can only guard
+syntactically:
+
+* a tour is still a permutation with a consistent position inverse, and
+  its incrementally-maintained length matches an O(n) recomputation —
+  catching any operator whose gain accounting drifted from the moves it
+  actually applied;
+* candidate rows satisfy the distance-sorted-row invariant (no self,
+  no duplicates, distances non-decreasing) — the precondition of every
+  early-break candidate scan;
+* the simulator's message conservation holds: every enqueued copy is
+  either delivered, dropped, or still in flight.
+
+Violations raise :class:`SanitizeError` (an ``AssertionError`` subclass,
+so ``pytest.raises(AssertionError)`` also catches it) with enough
+context to locate the offending operator.  The checks multiply run time
+by a small constant; CI runs tier-1 once under the flag, and it is the
+first switch to flip when a distributed run produces a suspect tour.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "SanitizeError",
+    "sanitize_enabled",
+    "set_sanitize",
+    "check_tour",
+    "check_candidate_rows",
+    "check_message_conservation",
+]
+
+
+class SanitizeError(AssertionError):
+    """A runtime invariant check failed under REPRO_SANITIZE=1."""
+
+
+_enabled: Optional[bool] = None
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to a truthy value.
+
+    The environment is read once and cached so hot paths pay a single
+    global load per check site; tests toggle via :func:`set_sanitize`.
+    """
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
+            "", "0", "false", "off", "no",
+        )
+    return _enabled
+
+
+def set_sanitize(enabled: Optional[bool]) -> None:
+    """Override (or, with ``None``, reset to re-read the environment)."""
+    global _enabled
+    _enabled = enabled
+
+
+def check_tour(tour, context: str = "", atol: int = 0) -> None:
+    """Assert ``tour`` is a valid permutation with truthful length.
+
+    ``atol`` admits a tolerance on the length comparison for callers
+    with non-integral weights; the repo's TSPLIB distances are all
+    integral, so the default is exact.
+    """
+    where = f" after {context}" if context else ""
+    n = tour.n
+    counts = np.bincount(tour.order, minlength=n)
+    if tour.order.shape != (n,) or np.any(counts != 1):
+        raise SanitizeError(
+            f"tour corrupted{where}: order is not a permutation of 0..{n - 1}"
+        )
+    if not np.array_equal(tour.position[tour.order], np.arange(n)):
+        raise SanitizeError(
+            f"tour corrupted{where}: position[] is not the inverse of order[]"
+        )
+    actual = tour.recompute_length()
+    if abs(actual - tour.length) > atol:
+        raise SanitizeError(
+            f"length accounting drifted{where}: incremental length "
+            f"{tour.length} vs recomputed {actual} "
+            f"(delta {tour.length - actual:+d})"
+        )
+
+
+def check_candidate_rows(instance, rows, context: str = "") -> None:
+    """Assert every candidate row satisfies the sorted-row invariant.
+
+    Rows must contain distinct cities, never the city itself, ordered by
+    non-decreasing instance distance — the precondition for the
+    operators' early-break scans (``d(u, v) >= gain -> stop``).  One
+    exception: a row may repeat its last distinct entry as trailing
+    padding (variable-degree providers like the union graph pad short
+    rows with their farthest neighbour to reach rectangular shape).
+    """
+    where = f" in {context}" if context else ""
+    arr = np.asarray(rows)
+    if arr.ndim != 2:
+        raise SanitizeError(
+            f"candidate rows{where}: expected a 2-D array, got {arr.shape}"
+        )
+    for i in range(arr.shape[0]):
+        row = arr[i]
+        if np.any(row == i):
+            raise SanitizeError(
+                f"candidate row {i}{where} contains the city itself"
+            )
+        j = len(row)
+        while j > 1 and row[j - 1] == row[j - 2]:
+            j -= 1  # strip the trailing-padding repeats
+        core = row[:j]
+        if len(np.unique(core)) != len(core):
+            raise SanitizeError(
+                f"candidate row {i}{where} contains duplicate cities"
+            )
+        d = np.asarray(instance.dist_many(i, row))
+        if np.any(np.diff(d) < 0):
+            k = int(np.argmax(np.diff(d) < 0))
+            raise SanitizeError(
+                f"candidate row {i}{where} violates the distance-sorted "
+                f"invariant at offset {k}: d(i, row[{k}])={int(d[k])} > "
+                f"d(i, row[{k + 1}])={int(d[k + 1])}"
+            )
+
+
+def check_message_conservation(network, context: str = "") -> None:
+    """Assert the simulated network lost no messages.
+
+    Every enqueued copy must be accounted for:
+    ``sent == delivered + dropped + in-flight``.  The simulator never
+    drops, so ``dropped`` stays 0 there; the counter exists so future
+    lossy latency models keep the identity checkable.
+    """
+    where = f" in {context}" if context else ""
+    stats = network.stats
+    in_flight = sum(network.pending(node_id) for node_id in network.topology)
+    expected = stats.delivered + stats.dropped + in_flight
+    if stats.messages != expected:
+        raise SanitizeError(
+            f"message conservation violated{where}: sent={stats.messages} "
+            f"!= delivered={stats.delivered} + dropped={stats.dropped} "
+            f"+ in_flight={in_flight}"
+        )

@@ -273,7 +273,8 @@ class TestBaselineCandidateWiring:
         # its old rows; the setter must swap both forms together.
         engine = LinKernighan(small_instance)
         sub = quick_boruvka(small_instance)
-        union = np.stack([sub.order, np.roll(sub.order, -2)], axis=1)
+        from repro.baselines.tour_merging import union_candidate_lists
+        union = union_candidate_lists(small_instance, [sub])
         engine.neighbors = union
         assert engine.neighbors.shape == union.shape
         assert engine._neighbor_rows[3] == list(engine.neighbors[3])

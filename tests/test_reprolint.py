@@ -1,0 +1,377 @@
+"""Fixture-snippet tests for the reprolint rule set.
+
+Each RPL rule gets at least one snippet it must fire on and one it must
+stay silent on, written into a tmp tree at paths inside the rule's
+default scope.  The suppression syntax and the CLI exit-code contract
+are covered at the end.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import Config, lint_file, lint_paths  # noqa: E402
+from tools.reprolint.config import load_config  # noqa: E402
+from tools.reprolint.rules import ALL_RULES, rule_ids  # noqa: E402
+
+
+def lint_snippet(tmp_path, relpath, source):
+    """Write ``source`` at ``relpath`` under a tmp root and lint it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, config=Config(), root=tmp_path)
+
+
+def ids_of(violations):
+    return [v.rule_id for v in violations]
+
+
+class TestRPL001GlobalRng:
+    def test_fires_on_stdlib_random(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            import random
+            v = random.random()
+        """)
+        assert ids_of(out) == ["RPL001", "RPL001"]  # import + call
+
+    def test_fires_on_legacy_numpy_global(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            import numpy as np
+            np.random.seed(0)
+            v = np.random.randint(10)
+        """)
+        assert ids_of(out) == ["RPL001", "RPL001"]
+
+    def test_fires_on_unseeded_default_rng(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            from numpy.random import default_rng
+            rng = default_rng()
+        """)
+        assert ids_of(out) == ["RPL001"]
+
+    def test_silent_on_injected_generator(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            import numpy as np
+
+            def pick(rng: np.random.Generator, n: int) -> int:
+                return int(rng.integers(n))
+
+            seeded = np.random.default_rng(42)
+        """)
+        assert out == []
+
+    def test_silent_inside_allowed_scope(self, tmp_path):
+        # utils/rng.py is the one blessed home of RNG plumbing.
+        out = lint_snippet(tmp_path, "src/repro/utils/rng.py", """\
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert out == []
+
+
+class TestRPL002WallClock:
+    def test_fires_on_time_time(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/localsearch/x.py", """\
+            import time
+            t0 = time.time()
+        """)
+        assert ids_of(out) == ["RPL002"]
+
+    def test_fires_on_datetime_now_and_from_import(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            import datetime
+            from time import perf_counter
+            stamp = datetime.datetime.now()
+        """)
+        assert ids_of(out) == ["RPL002", "RPL002"]
+
+    def test_silent_on_workmeter_accounting(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/localsearch/x.py", """\
+            def advance(meter, ops: int) -> None:
+                meter.tick(ops)
+        """)
+        assert out == []
+
+    def test_silent_outside_virtual_time_scope(self, tmp_path):
+        # The mp backend legitimately paces on the wall clock.
+        out = lint_snippet(tmp_path, "src/repro/distributed/mp_backend.py", """\
+            import time
+            t0 = time.monotonic()
+        """)
+        assert out == []
+
+
+class TestRPL003RawDistance:
+    def test_fires_on_instance_dist_param(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/localsearch/two_opt.py", """\
+            def scan(tour, instance):
+                return instance.dist(0, 1)
+        """)
+        assert ids_of(out) == ["RPL003"]
+
+    def test_fires_on_tour_instance_chain(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/localsearch/or_opt.py", """\
+            def scan(tour):
+                return tour.instance.dist(0, 1)
+        """)
+        assert ids_of(out) == ["RPL003"]
+
+    def test_fires_on_assigned_instance_and_matrix_indexing(self, tmp_path):
+        out = lint_snippet(
+            tmp_path, "src/repro/localsearch/three_opt.py", """\
+            def scan(tour):
+                inst2 = tour.instance
+                a = inst2.dist_many(0, [1, 2])
+                b = inst2.matrix[0, 1]
+                return a, b
+        """)
+        assert ids_of(out) == ["RPL003", "RPL003"]
+
+    def test_silent_on_distview(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/localsearch/two_opt.py", """\
+            def scan(tour, view):
+                rows = view.rows
+                return rows[0][1] + view.dist(2, 3)
+        """)
+        assert out == []
+
+    def test_silent_outside_hot_loop_modules(self, tmp_path):
+        # Setup/analysis code may use instance.dist freely.
+        out = lint_snippet(tmp_path, "src/repro/analysis/quality.py", """\
+            def gap(instance, a, b):
+                return instance.dist(a, b)
+        """)
+        assert out == []
+
+
+class TestRPL004WireTypes:
+    def test_fires_on_missing_slots(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/message.py", """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Message:
+                sender: int
+        """)
+        assert ids_of(out) == ["RPL004"]
+
+    def test_fires_on_plain_class(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/message.py", """\
+            class Message:
+                pass
+        """)
+        assert ids_of(out) == ["RPL004"]
+
+    def test_fires_on_mutable_field_annotation(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/message.py", """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class Message:
+                payload: dict
+        """)
+        assert ids_of(out) == ["RPL004"]
+        assert "dict" in out[0].message
+
+    def test_silent_on_conforming_wire_type(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/message.py", """\
+            from dataclasses import dataclass
+            from typing import Optional
+
+            @dataclass(frozen=True, slots=True)
+            class Message:
+                sender: int
+                length: Optional[int]
+                order: "tuple[int, ...]"
+        """)
+        assert out == []
+
+    def test_only_configured_classes_checked(self, tmp_path):
+        # Non-wire helpers in the same file are out of scope.
+        out = lint_snippet(tmp_path, "src/repro/distributed/message.py", """\
+            class ScratchBuffer:
+                data: dict
+        """)
+        assert out == []
+
+
+class TestRPL005QueueTimeout:
+    def test_fires_on_bare_get(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/backend.py", """\
+            def pump(q):
+                return q.get()
+        """)
+        assert ids_of(out) == ["RPL005"]
+
+    def test_fires_on_block_true_and_timeout_none(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/backend.py", """\
+            def pump(q):
+                a = q.get(True)
+                b = q.get(block=True)
+                c = q.get(timeout=None)
+                return a, b, c
+        """)
+        assert ids_of(out) == ["RPL005", "RPL005", "RPL005"]
+
+    def test_fires_on_bare_recv(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/backend.py", """\
+            def pump(conn):
+                return conn.recv()
+        """)
+        assert ids_of(out) == ["RPL005"]
+
+    def test_silent_on_timeout_and_nowait_and_dict_get(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/distributed/backend.py", """\
+            def pump(q, table):
+                a = q.get(timeout=0.5)
+                b = q.get_nowait()
+                c = table.get("key", 0)
+                return a, b, c
+        """)
+        assert out == []
+
+
+class TestRPL006SilentExcept:
+    def test_fires_on_bare_except(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+        """)
+        assert ids_of(out) == ["RPL006"]
+
+    def test_fires_on_silent_broad_except(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            def f():
+                try:
+                    g()
+                except Exception:
+                    pass
+        """)
+        assert ids_of(out) == ["RPL006"]
+
+    def test_fires_on_broad_tuple(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            def f():
+                for _ in range(3):
+                    try:
+                        g()
+                    except (ValueError, Exception):
+                        continue
+        """)
+        assert ids_of(out) == ["RPL006"]
+
+    def test_silent_on_narrow_or_handled(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            import logging
+
+            def f():
+                try:
+                    g()
+                except KeyError:
+                    pass
+                try:
+                    g()
+                except Exception:
+                    logging.exception("g failed")
+        """)
+        assert out == []
+
+
+class TestSuppression:
+    def test_line_suppression(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            import time
+            t0 = time.time()  # reprolint: disable=RPL002
+        """)
+        assert out == []
+
+    def test_line_suppression_is_per_rule(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            import time
+            t0 = time.time()  # reprolint: disable=RPL001
+        """)
+        assert ids_of(out) == ["RPL002"]
+
+    def test_file_suppression(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", """\
+            # reprolint: disable-file=RPL002
+            import time
+            t0 = time.time()
+            t1 = time.monotonic()
+        """)
+        assert out == []
+
+    def test_syntax_error_is_rpl000(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/core/x.py", "def f(:\n")
+        assert ids_of(out) == ["RPL000"]
+
+
+class TestEngineAndConfig:
+    def test_every_rule_has_id_title_rationale(self):
+        seen = set()
+        for rule in ALL_RULES:
+            assert rule.id.startswith("RPL") and len(rule.id) == 6
+            assert rule.title and rule.rationale
+            assert rule.id not in seen
+            seen.add(rule.id)
+        assert rule_ids() == tuple(sorted(rule_ids()))
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "src/repro/core").mkdir(parents=True)
+        (tmp_path / "src/repro/core/a.py").write_text("import random\n")
+        (tmp_path / "src/repro/core/b.py").write_text("X = 1\n")
+        out = lint_paths([tmp_path / "src"], config=Config(), root=tmp_path)
+        assert ids_of(out) == ["RPL001"]
+
+    def test_pyproject_overrides_and_unknown_key_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.reprolint]
+            exclude = ["generated/"]
+            [tool.reprolint.rules.RPL002]
+            include = ["src/custom/"]
+        """))
+        cfg = load_config(tmp_path)
+        assert "generated/" in cfg.exclude
+        assert cfg.scope_for("RPL002").include == ("src/custom/",)
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint]\nexclue = []\n"
+        )
+        with pytest.raises(ValueError, match="unknown key"):
+            load_config(tmp_path)
+
+    def test_repo_tree_is_clean(self):
+        # The acceptance bar: the shipped tree lints clean.
+        violations = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "scripts", REPO_ROOT / "examples"],
+            root=REPO_ROOT,
+        )
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+
+class TestCLI:
+    def test_exit_codes(self, tmp_path):
+        from tools.reprolint.__main__ import main
+
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src/clean.py").write_text("X = 1\n")
+        assert main(["--root", str(tmp_path), str(tmp_path / "src")]) == 0
+        (tmp_path / "src/dirty.py").write_text("import random\n")
+        assert main(["--root", str(tmp_path), str(tmp_path / "src")]) == 1
+
+    def test_list_rules(self, capsys):
+        from tools.reprolint.__main__ import main
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in rule_ids():
+            assert rid in out

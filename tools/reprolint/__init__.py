@@ -1,0 +1,39 @@
+"""reprolint — repo-specific static analysis for reproducibility invariants.
+
+The library's correctness rests on invariants that generic linters cannot
+see: all randomness flows through injected ``numpy.random.Generator``
+objects, simulated code never reads the wall clock, local-search hot
+loops only see distance-sorted candidate rows through the engine layer,
+and the multiprocessing boundary only ships frozen/slotted picklable
+types.  Each rule here encodes one of those invariants with an ID, a
+rationale, and a suppression syntax, so a violation fails CI with an
+explanation instead of silently corrupting a run.
+
+Usage::
+
+    python -m tools.reprolint src scripts examples
+
+Suppression::
+
+    something_flagged()  # reprolint: disable=RPL002
+    # reprolint: disable-file=RPL001   (anywhere in the first 10 lines)
+
+Configuration lives in ``pyproject.toml`` under ``[tool.reprolint]``
+(see :mod:`tools.reprolint.config` for keys and defaults); rules are in
+:mod:`tools.reprolint.rules` and the walker/suppression machinery in
+:mod:`tools.reprolint.engine`.
+"""
+
+from .config import Config, load_config
+from .engine import Violation, lint_file, lint_paths
+from .rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Config",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+]

@@ -1,0 +1,76 @@
+"""CLI: ``python -m tools.reprolint [paths...]``.
+
+Exit status 0 when clean, 1 when violations were found, 2 on usage
+errors — the contract the CI static-analysis job and the pre-commit
+hook rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import load_config
+from .engine import lint_paths
+from .rules import ALL_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="repo-specific reproducibility/invariant linter",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="project root holding pyproject.toml (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    root = Path(args.root)
+    try:
+        config = load_config(root)
+    except ValueError as exc:
+        print(f"reprolint: bad configuration: {exc}", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"reprolint: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+    violations = lint_paths(paths, config=config, root=root)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(
+            f"reprolint: {len(violations)} violation(s) "
+            f"(suppress with '# reprolint: disable=<ID>'; "
+            "rationale: docs/CHECKS.md)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe
+        sys.exit(0)

@@ -1,0 +1,141 @@
+"""reprolint core: file walking, suppression handling, rule dispatch.
+
+A rule is an object with an ``id``, a one-line ``rationale`` and a
+``check(tree, path, config) -> iterable[Violation]`` method (see
+:mod:`tools.reprolint.rules`).  The engine parses each file once, runs
+every rule whose configured scope matches the file, and filters the
+resulting violations through the suppression comments:
+
+* ``# reprolint: disable=RPL001`` (or ``disable=RPL001,RPL005``) on the
+  offending line suppresses those rules for that line only;
+* ``# reprolint: disable-file=RPL001`` within the first 10 lines
+  suppresses the rule for the whole file;
+* ``disable=all`` / ``disable-file=all`` suppress every rule.
+
+Suppressions are deliberately line-anchored (no block form): every
+exemption stays visible next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .config import Config, iter_python_files, load_config
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .rules import Rule
+
+__all__ = ["Violation", "lint_file", "lint_paths", "parse_suppressions"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+_FILE_SCOPE_LINES = 10
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def parse_suppressions(
+    source: str,
+) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract (per-line, whole-file) suppression sets from ``source``.
+
+    Returned rule IDs are upper-cased; the sentinel ``"ALL"`` suppresses
+    every rule.  Uses a plain line scan rather than the tokenizer so
+    suppressions still apply to files the AST parser rejects elsewhere.
+    """
+    per_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        kind, spec = m.group(1), m.group(2)
+        ids = {part.strip().upper() for part in spec.split(",") if part.strip()}
+        if kind == "disable-file":
+            if lineno <= _FILE_SCOPE_LINES:
+                whole_file |= ids
+        else:
+            per_line.setdefault(lineno, set()).update(ids)
+    return per_line, whole_file
+
+
+def _suppressed(
+    violation: Violation,
+    per_line: dict[int, set[str]],
+    whole_file: set[str],
+) -> bool:
+    if "ALL" in whole_file or violation.rule_id in whole_file:
+        return True
+    line_ids = per_line.get(violation.line, ())
+    return "ALL" in line_ids or violation.rule_id in line_ids
+
+
+def lint_file(
+    path: Path,
+    config: Config | None = None,
+    rules: Sequence["Rule"] | None = None,
+    root: Path | None = None,
+) -> list[Violation]:
+    """Lint one file; returns unsuppressed violations sorted by location."""
+    from .rules import ALL_RULES
+
+    config = config or load_config(root)
+    rules = rules if rules is not None else ALL_RULES
+    try:
+        rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+        posix = rel.as_posix()
+    except ValueError:
+        posix = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id="RPL000",
+                path=posix,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    per_line, whole_file = parse_suppressions(source)
+    out: list[Violation] = []
+    for rule in rules:
+        if not config.scope_for(rule.id).matches(posix):
+            continue
+        for violation in rule.check(tree, posix, config):
+            if not _suppressed(violation, per_line, whole_file):
+                out.append(violation)
+    return sorted(out, key=lambda v: (v.line, v.col, v.rule_id))
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: Config | None = None,
+    rules: Sequence["Rule"] | None = None,
+    root: Path | None = None,
+) -> list[Violation]:
+    """Lint files/directories; returns all unsuppressed violations."""
+    config = config or load_config(root)
+    out: list[Violation] = []
+    for path in iter_python_files([Path(p) for p in paths], config.exclude):
+        out.extend(lint_file(path, config=config, rules=rules, root=root))
+    return out

@@ -1,0 +1,527 @@
+"""The RPL rule set: one AST checker per repo invariant.
+
+========  ====================================================================
+ID        Invariant guarded
+========  ====================================================================
+RPL001    All randomness flows through injected ``np.random.Generator``
+          objects; no global RNG state, no unseeded ``default_rng()``.
+RPL002    Code that runs under virtual time never reads the wall clock.
+RPL003    Operator hot loops access distances through ``DistView`` rows,
+          never raw ``instance.dist`` / matrix indexing.
+RPL004    Types crossing the multiprocessing boundary are frozen, slotted
+          dataclasses with picklable, immutable field types.
+RPL005    Blocking queue/pipe reads in ``distributed/`` always carry a
+          timeout (the hang class PR 1 eliminated).
+RPL006    No bare or silent ``except`` handlers.
+========  ====================================================================
+
+Each rule's full rationale — the bug it prevents and the PR that
+established the invariant — is catalogued in ``docs/CHECKS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from .config import Config
+from .engine import Violation
+
+__all__ = ["Rule", "ALL_RULES", "rule_ids"]
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title``/``rationale`` and
+    implement :meth:`check`."""
+
+    id = "RPL000"
+    title = "abstract rule"
+    rationale = ""
+
+    def check(
+        self, tree: ast.Module, path: str, config: Config
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, path: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule_id=self.id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    """Local alias -> full dotted path, from the module's imports."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    # Conventional numpy alias even without the import in this file.
+    aliases.setdefault("np", "numpy")
+    return aliases
+
+
+def _dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a dotted path through import aliases."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+
+
+class NoGlobalRngRule(Rule):
+    """RPL001 — randomness must come from an injected Generator."""
+
+    id = "RPL001"
+    title = "no global RNG state"
+    rationale = (
+        "Reproducibility of DistCLK runs (paper §4) depends on every "
+        "stochastic choice drawing from an injected np.random.Generator; "
+        "global RNG state couples unrelated components and an unseeded "
+        "default_rng() makes a run unrepeatable."
+    )
+
+    #: numpy.random module-level functions that mutate the legacy global
+    #: RandomState (or read it): any use is hidden global state.
+    LEGACY = frozenset(
+        {
+            "seed", "rand", "randn", "randint", "random", "random_sample",
+            "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+            "normal", "standard_normal", "binomial", "poisson", "exponential",
+            "beta", "gamma", "bytes", "random_integers", "get_state",
+            "set_state", "vonmises", "laplace", "lognormal", "geometric",
+        }
+    )
+
+    def check(self, tree, path, config):
+        aliases = _import_map(tree)
+        stdlib_random_aliases = {
+            alias
+            for alias, target in aliases.items()
+            if target == "random" or target.startswith("random.")
+        }
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name == "random" or a.name.startswith("random."):
+                        yield self.violation(
+                            path, node,
+                            "import of the stdlib 'random' module (global "
+                            "RNG state); use repro.utils.rng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    yield self.violation(
+                        path, node,
+                        "import from the stdlib 'random' module (global "
+                        "RNG state); use repro.utils.rng instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func, aliases)
+                if dotted is None:
+                    continue
+                head, _, fn = dotted.rpartition(".")
+                if dotted.startswith("numpy.random.") and fn in self.LEGACY:
+                    yield self.violation(
+                        path, node,
+                        f"np.random.{fn}() uses the legacy global "
+                        "RandomState; pass an np.random.Generator instead",
+                    )
+                elif (
+                    dotted in ("numpy.random.default_rng", "default_rng")
+                    or dotted.endswith(".default_rng")
+                ) and not node.args and not node.keywords:
+                    yield self.violation(
+                        path, node,
+                        "default_rng() without a seed argument is "
+                        "unrepeatable; thread a seed or Generator through",
+                    )
+                elif head in stdlib_random_aliases:
+                    yield self.violation(
+                        path, node,
+                        f"stdlib random.{fn}() uses global RNG state; "
+                        "use an injected np.random.Generator",
+                    )
+
+
+class NoWallClockRule(Rule):
+    """RPL002 — virtual-time code must not read the wall clock."""
+
+    id = "RPL002"
+    title = "no wall-clock reads under virtual time"
+    rationale = (
+        "The simulator's determinism and budget accounting (PR 1) rest on "
+        "all timing flowing from WorkMeter operation counts; one "
+        "time.time() in the engine makes runs machine-dependent."
+    )
+
+    BANNED = frozenset(
+        {
+            "time.time", "time.time_ns", "time.monotonic",
+            "time.monotonic_ns", "time.perf_counter", "time.perf_counter_ns",
+            "time.process_time", "time.process_time_ns", "time.sleep",
+            "datetime.datetime.now", "datetime.datetime.utcnow",
+            "datetime.datetime.today", "datetime.date.today",
+        }
+    )
+
+    def check(self, tree, path, config):
+        aliases = _import_map(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "time", "datetime"
+            ):
+                for a in node.names:
+                    if f"{node.module}.{a.name}" in self.BANNED or (
+                        node.module == "datetime" and a.name == "datetime"
+                    ):
+                        yield self.violation(
+                            path, node,
+                            f"import of wall-clock symbol "
+                            f"'{node.module}.{a.name}' in virtual-time "
+                            "code; use WorkMeter vsec accounting",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func, aliases)
+                if dotted in self.BANNED:
+                    yield self.violation(
+                        path, node,
+                        f"wall-clock call {dotted}() in virtual-time code; "
+                        "time must come from WorkMeter / node clocks",
+                    )
+
+
+class NoRawDistanceRule(Rule):
+    """RPL003 — hot loops go through DistView, not instance.dist."""
+
+    id = "RPL003"
+    title = "no DistView bypass in operator hot loops"
+    rationale = (
+        "The engine layer (PR 2) routes hot-loop distance access through "
+        "row-cached DistView and distance-sorted candidate rows; raw "
+        "instance.dist calls bypass the cache (~3x slower) and invite "
+        "scans over unsorted rows, silently corrupting early-break "
+        "pruning (cf. Heins et al. 2024 on candidate-list sensitivity)."
+    )
+
+    METHODS = frozenset({"dist", "dist_many", "distance_matrix"})
+    INSTANCE_PARAMS = frozenset({"instance", "inst"})
+
+    def check(self, tree, path, config):
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(fn, path)
+
+    def _check_function(self, fn, path):
+        instance_names = {
+            arg.arg
+            for arg in list(fn.args.args) + list(fn.args.kwonlyargs)
+            if arg.arg in self.INSTANCE_PARAMS
+        }
+        # One pre-pass for names bound from `<expr>.instance`.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Attribute
+            ):
+                if node.value.attr == "instance":
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            instance_names.add(tgt.id)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                attr = node.func.attr
+                if attr not in self.METHODS:
+                    continue
+                recv = node.func.value
+                if isinstance(recv, ast.Name) and recv.id in instance_names:
+                    yield self.violation(
+                        path, node,
+                        f"raw {recv.id}.{attr}() in an operator hot-loop "
+                        "module; route through DistView (view.dist / "
+                        "view.row)",
+                    )
+                elif isinstance(recv, ast.Attribute) and recv.attr == "instance":
+                    yield self.violation(
+                        path, node,
+                        f"raw <...>.instance.{attr}() in an operator "
+                        "hot-loop module; route through DistView",
+                    )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.value, ast.Attribute
+            ):
+                if node.value.attr == "matrix":
+                    yield self.violation(
+                        path, node,
+                        "direct distance-matrix indexing in an operator "
+                        "hot-loop module; use DistView rows",
+                    )
+
+
+class WireTypeRule(Rule):
+    """RPL004 — mp-boundary dataclasses are frozen, slotted, picklable."""
+
+    id = "RPL004"
+    title = "wire types frozen/slotted with picklable fields"
+    rationale = (
+        "Types pickled into worker processes (or rebuilt from wire "
+        "tuples) must be immutable value objects: a mutable or unpicklable "
+        "field either crashes the spawn path or — worse — ships shared "
+        "mutable state across the process boundary."
+    )
+
+    def check(self, tree, path, config):
+        wire_classes = set(config.wire_classes_for(path))
+        if not wire_classes:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in wire_classes:
+                continue
+            deco = self._dataclass_decorator(node)
+            if deco is None:
+                yield self.violation(
+                    path, node,
+                    f"wire type {node.name} must be a "
+                    "@dataclass(frozen=True, slots=True)",
+                )
+                continue
+            missing = [
+                kw
+                for kw in ("frozen", "slots")
+                if not self._kw_is_true(deco, kw)
+            ]
+            if missing:
+                yield self.violation(
+                    path, node,
+                    f"wire type {node.name} must set "
+                    f"{', '.join(f'{m}=True' for m in missing)} on its "
+                    "@dataclass decorator",
+                )
+            allowed = set(config.picklable_names)
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id.startswith("_")
+                ):
+                    continue
+                bad = self._first_disallowed(stmt.annotation, allowed)
+                if bad is not None:
+                    name = (
+                        stmt.target.id
+                        if isinstance(stmt.target, ast.Name)
+                        else "<field>"
+                    )
+                    yield self.violation(
+                        path, stmt,
+                        f"wire type {node.name}.{name} has non-picklable/"
+                        f"mutable annotation component {bad!r}; allowed "
+                        "leaves are immutable scalars, tuples, ndarray, "
+                        "enums and nested wire types",
+                    )
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef):
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name == "dataclass":
+                return deco if isinstance(deco, ast.Call) else ast.Call(
+                    func=target, args=[], keywords=[]
+                )
+        return None
+
+    @staticmethod
+    def _kw_is_true(deco: ast.Call, name: str) -> bool:
+        for kw in deco.keywords:
+            if kw.arg == name:
+                return (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                )
+        return False
+
+    def _first_disallowed(self, node: ast.AST, allowed: set) -> str | None:
+        """Depth-first search for the first disallowed leaf name."""
+        if isinstance(node, ast.Constant):
+            if node.value is None or node.value is Ellipsis:
+                return None
+            if isinstance(node.value, str):  # string annotation: parse it
+                try:
+                    inner = ast.parse(node.value, mode="eval").body
+                except SyntaxError:
+                    return node.value
+                return self._first_disallowed(inner, allowed)
+            return repr(node.value)
+        if isinstance(node, ast.Name):
+            return None if node.id in allowed else node.id
+        if isinstance(node, ast.Attribute):
+            return None if node.attr in allowed else node.attr
+        if isinstance(node, ast.Subscript):
+            bad = self._first_disallowed(node.value, allowed)
+            if bad is not None:
+                return bad
+            return self._first_disallowed(node.slice, allowed)
+        if isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                bad = self._first_disallowed(elt, allowed)
+                if bad is not None:
+                    return bad
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._first_disallowed(
+                node.left, allowed
+            ) or self._first_disallowed(node.right, allowed)
+        return ast.dump(node)
+
+
+class QueueTimeoutRule(Rule):
+    """RPL005 — blocking queue/pipe reads must carry a timeout."""
+
+    id = "RPL005"
+    title = "blocking queue reads need a timeout"
+    rationale = (
+        "A bare queue.get()/recv() blocks forever when the producer died "
+        "— the silent-hang class PR 1 eliminated; every blocking read in "
+        "the transport layer must bound its wait."
+    )
+
+    def check(self, tree, path, config):
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            if attr == "recv" and not node.args and not node.keywords:
+                yield self.violation(
+                    path, node,
+                    "recv() without a timeout/poll guard blocks forever "
+                    "on a dead peer; poll with a deadline first",
+                )
+            elif attr == "get":
+                yield from self._check_get(node, path)
+
+    def _check_get(self, node: ast.Call, path: str):
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        timeout = kwargs.get("timeout")
+        if timeout is not None:
+            if isinstance(timeout, ast.Constant) and timeout.value is None:
+                yield self.violation(
+                    path, node,
+                    "get(timeout=None) blocks forever; pass a finite "
+                    "timeout",
+                )
+            return
+        blocking_kw = kwargs.get("block")
+        explicit_blocking = (
+            isinstance(blocking_kw, ast.Constant)
+            and blocking_kw.value is True
+        ) or (
+            len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value is True
+        )
+        # `.get()` with no arguments is ambiguous between dict.get and
+        # queue.get only in the former's degenerate zero-arg form, which
+        # is a TypeError — so zero-arg get is always a blocking queue
+        # read.  One non-True argument (dict.get(key[, default]) or
+        # queue.get(block, timeout)) is left alone.
+        if explicit_blocking or (not node.args and not node.keywords):
+            yield self.violation(
+                path, node,
+                "blocking queue get() without a timeout hangs when the "
+                "producer is gone; use get(timeout=...) or get_nowait()",
+            )
+
+
+class NoSilentExceptRule(Rule):
+    """RPL006 — no bare or silent exception swallowing."""
+
+    id = "RPL006"
+    title = "no bare/silent except"
+    rationale = (
+        "`except Exception: pass` hides the first symptom of every other "
+        "invariant violation; failures must surface, be logged, or be "
+        "narrowed to the exact expected exception type."
+    )
+
+    BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, tree, path, config):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    path, node,
+                    "bare 'except:' also swallows KeyboardInterrupt/"
+                    "SystemExit; name the exception type",
+                )
+            elif self._is_broad(node.type) and self._is_silent(node.body):
+                yield self.violation(
+                    path, node,
+                    "silently swallowed broad exception; narrow the type "
+                    "or handle/log the failure",
+                )
+
+    def _is_broad(self, type_node: ast.AST) -> bool:
+        if isinstance(type_node, ast.Name):
+            return type_node.id in self.BROAD
+        if isinstance(type_node, ast.Attribute):
+            return type_node.attr in self.BROAD
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(elt) for elt in type_node.elts)
+        return False
+
+    @staticmethod
+    def _is_silent(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or Ellipsis
+            return False
+        return True
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    NoGlobalRngRule(),
+    NoWallClockRule(),
+    NoRawDistanceRule(),
+    WireTypeRule(),
+    QueueTimeoutRule(),
+    NoSilentExceptRule(),
+)
+
+
+def rule_ids() -> tuple[str, ...]:
+    return tuple(rule.id for rule in ALL_RULES)
