@@ -1,0 +1,171 @@
+"""CI bench-smoke: a deterministic small-budget performance snapshot.
+
+    PYTHONPATH=src python scripts/run_bench_smoke.py [--out BENCH_ci.json]
+
+Runs in a couple of minutes: an engine-microbench subset (ops/sec for
+2-opt and LK over kicked construction tours, as in
+``benchmarks/bench_engine_microbench.py``) plus one fig2-style
+configuration (sequential CLK vs 8-node DistCLK on fl150 at a small
+equal-total budget).  All wall-clock numbers are rescaled through
+:func:`repro.analysis.measure_machine_factor` (the DIMACS-style
+normalization the paper uses for its Table 2), so the committed baseline
+in ``benchmarks/baselines/`` is comparable across machines.
+
+``scripts/check_bench_regression.py`` compares the output against that
+baseline and fails CI on a >15% slowdown.  Tour qualities are recorded
+too, but as ``check`` values, not gated metrics: they are functions of
+virtual time and seeds only, so a change there is a determinism break,
+not a performance regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import measure_machine_factor
+from repro.construct import quick_boruvka
+from repro.localsearch import OpStats, get_operator
+from repro.tsp import generators, get_candidate_set
+from repro.utils.rng import ensure_rng
+
+_FORMAT_VERSION = 1
+
+#: Engine-subset workload (mirrors the microbench's kicked-starts regime,
+#: scaled down for CI latency).
+_ENGINE_N = 600
+_ENGINE_TOURS = 8
+_ENGINE_KICKS = 25
+_ENGINE_SEED = 20260805
+_REPEATS = 3
+
+#: Fig2-style configuration: equal total budget, CLK vs 8-node DistCLK.
+_INSTANCE = "fl150"
+_TOTAL_BUDGET_VSEC = 8.0
+_N_NODES = 8
+_RUN_SEED = 1905
+
+
+def _engine_ops(stats: OpStats) -> int:
+    return stats.candidate_scans + stats.segment_swaps
+
+
+def _kicked_starts(inst):
+    rng = ensure_rng(_ENGINE_SEED)
+    base = quick_boruvka(inst, rng=rng)
+    starts = []
+    for _ in range(_ENGINE_TOURS):
+        t = base.copy()
+        for _ in range(_ENGINE_KICKS):
+            cuts = 1 + rng.choice(inst.n - 1, size=3, replace=False)
+            t.double_bridge(cuts)
+        starts.append(t)
+    return starts
+
+
+def _ops_per_sec(op_name, starts, provider) -> float:
+    """Best-of-repeats ops/sec for one operator over copies of starts."""
+    op = get_operator(op_name)
+    best = None
+    for _ in range(_REPEATS):
+        tours = [t.copy() for t in starts]
+        stats = OpStats()
+        t0 = time.perf_counter()
+        for tour in tours:
+            op(tour, candidates=provider, stats=stats)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best[0]:
+            best = (elapsed, stats)
+    elapsed, stats = best
+    return _engine_ops(stats) / elapsed
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default="BENCH_ci.json")
+    args = parser.parse_args(argv)
+
+    factor = measure_machine_factor()
+    print(f"machine factor: {factor.factor:.3f} "
+          f"(local {factor.local_seconds:.3f}s for reference "
+          f"{factor.reference_seconds:.2f}s workload)")
+
+    metrics: dict = {}
+    checks: dict = {}
+
+    # -- engine subset --------------------------------------------------
+    inst = generators.uniform(_ENGINE_N, rng=4242)
+    inst.materialize()
+    inst.matrix_row_lists()
+    starts = _kicked_starts(inst)
+    provider = get_candidate_set("knn", k=8)
+    provider.row_lists(inst)  # build outside the timed region
+    for op_name in ("two_opt", "lk"):
+        rate = _ops_per_sec(op_name, starts, provider)
+        # ops per *reference-machine* second: divide the local rate by
+        # the local->reference factor so faster hosts don't look like
+        # speedups against the committed baseline.
+        norm = rate / factor.factor
+        metrics[f"engine.{op_name}_knn_ops_per_ref_sec"] = {
+            "value": round(norm, 1),
+            "direction": "higher",
+        }
+        print(f"engine {op_name:8s} {rate:12,.0f} ops/s local, "
+              f"{norm:12,.0f} ops/ref-s")
+
+    # -- fig2-style pair: CLK vs DistCLK, equal total budget ------------
+    from repro.core import solve
+    from repro.localsearch import LKConfig, chained_lk
+    from repro.tsp import registry
+
+    fl = registry.get_instance(_INSTANCE)
+    lk_config = LKConfig(neighbor_k=7, breadth=(4, 2), max_depth=40)
+
+    clk_wall, clk_res = _timed(lambda: chained_lk(
+        fl, budget_vsec=_TOTAL_BUDGET_VSEC, lk_config=lk_config,
+        free_init=True, rng=_RUN_SEED,
+    ))
+    dist_wall, dist_res = _timed(lambda: solve(
+        fl, budget_vsec_per_node=_TOTAL_BUDGET_VSEC / _N_NODES,
+        n_nodes=_N_NODES, c_v=8, c_r=10**9, lk_config=lk_config,
+        free_init=True, rng=_RUN_SEED,
+    ))
+    metrics["clk.fl150_wall_ref_sec"] = {
+        "value": round(factor.apply(clk_wall), 3),
+        "direction": "lower",
+    }
+    metrics["dist.fl150_wall_ref_sec"] = {
+        "value": round(factor.apply(dist_wall), 3),
+        "direction": "lower",
+    }
+    checks["clk_fl150_length"] = int(clk_res.length)
+    checks["dist_fl150_best_length"] = int(dist_res.best_length)
+    checks["dist_fl150_messages"] = int(dist_res.network_stats.messages)
+    print(f"clk  {_INSTANCE}: {clk_res.length} in {clk_wall:.2f}s wall "
+          f"({factor.apply(clk_wall):.2f} ref-s)")
+    print(f"dist {_INSTANCE}: {dist_res.best_length} in {dist_wall:.2f}s "
+          f"wall ({factor.apply(dist_wall):.2f} ref-s)")
+
+    doc = {
+        "format": _FORMAT_VERSION,
+        "machine_factor": round(factor.factor, 4),
+        "local_bench_seconds": round(factor.local_seconds, 4),
+        "metrics": metrics,
+        "checks": checks,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

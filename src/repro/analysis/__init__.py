@@ -5,6 +5,7 @@ from .normalization import (
     measure_machine_factor,
     normalize_times,
 )
+from .obs_report import compare_trace_files, compare_traces
 from .plotting import plot_instance, plot_tour
 from .quality import (
     excess_percent,
@@ -20,7 +21,7 @@ from .reporting import (
     format_table,
     op_stats_table,
 )
-from .runio import load_run, save_run
+from .runio import load_run, load_trace, save_run, save_trace
 from .statistics import (
     Comparison,
     bootstrap_mean_ci,
@@ -56,6 +57,10 @@ __all__ = [
     "plot_tour",
     "save_run",
     "load_run",
+    "save_trace",
+    "load_trace",
+    "compare_traces",
+    "compare_trace_files",
     "Comparison",
     "compare_runs",
     "paired_compare",

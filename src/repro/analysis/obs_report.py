@@ -1,0 +1,131 @@
+"""Cross-run observability reports: compare two traces side by side.
+
+A single trace is summarized by :func:`repro.obs.summarize_trace`; this
+module answers the next question — *did the change move the time?* —
+by lining up per-phase virtual time, span totals, and engine counters
+of two JSONL traces (e.g. before/after an optimization, or two branch
+runs from CI artifacts).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Union
+
+from ..obs.export import TraceData
+from .reporting import format_table
+from .runio import load_trace
+
+__all__ = ["compare_traces", "compare_trace_files"]
+
+
+def _phase_totals(trace: TraceData) -> dict:
+    """``{phase: total vsec}`` summed over nodes."""
+    totals: dict = defaultdict(float)
+    for span in trace.spans_named("phase"):
+        phase = span.name.split(".", 1)[1] if "." in span.name else span.name
+        totals[phase] += span.vdur
+    return dict(totals)
+
+
+def _span_totals(trace: TraceData) -> dict:
+    """``{span name: (count, wall, vsec)}`` over all spans."""
+    totals: dict = defaultdict(lambda: [0, 0.0, 0.0])
+    for span in trace.spans:
+        entry = totals[span.name]
+        entry[0] += 1
+        entry[1] += span.wall
+        entry[2] += span.vdur
+    return {k: tuple(v) for k, v in totals.items()}
+
+
+def _counter_totals(trace: TraceData, prefix: str = "engine.") -> dict:
+    """``{counter name: total over all label series}``."""
+    return {
+        name: sum(series.values())
+        for name, series in trace.counters.items()
+        if name.startswith(prefix)
+    }
+
+
+def _delta_pct(a: float, b: float) -> str:
+    if a == 0:
+        return "-" if b == 0 else "new"
+    return f"{(b - a) / a * 100.0:+.1f}%"
+
+
+def compare_traces(
+    before: TraceData,
+    after: TraceData,
+    label_a: str = "before",
+    label_b: str = "after",
+) -> str:
+    """Side-by-side comparison of two traces, as monospace text.
+
+    Three sections: virtual time per phase, per-span-name totals
+    (count and vsec), and engine counters.  Each row carries a relative
+    delta so regressions stand out without mental arithmetic.
+    """
+    parts = []
+
+    pa, pb = _phase_totals(before), _phase_totals(after)
+    phases = sorted(set(pa) | set(pb))
+    if phases:
+        rows = [
+            [p, f"{pa.get(p, 0.0):.3f}", f"{pb.get(p, 0.0):.3f}",
+             _delta_pct(pa.get(p, 0.0), pb.get(p, 0.0))]
+            for p in phases
+        ]
+        rows.append([
+            "total", f"{sum(pa.values()):.3f}", f"{sum(pb.values()):.3f}",
+            _delta_pct(sum(pa.values()), sum(pb.values())),
+        ])
+        parts.append(format_table(
+            ["phase", label_a, label_b, "delta"], rows,
+            title="virtual seconds per phase (all nodes)",
+        ))
+
+    sa, sb = _span_totals(before), _span_totals(after)
+    names = sorted(set(sa) | set(sb))
+    if names:
+        rows = []
+        for name in names:
+            ca, _, va = sa.get(name, (0, 0.0, 0.0))
+            cb, _, vb = sb.get(name, (0, 0.0, 0.0))
+            rows.append([name, ca, cb, f"{va:.3f}", f"{vb:.3f}",
+                         _delta_pct(va, vb)])
+        parts.append(format_table(
+            ["span", f"n_{label_a}", f"n_{label_b}",
+             f"vsec_{label_a}", f"vsec_{label_b}", "delta"],
+            rows, title="span totals",
+        ))
+
+    ca, cb = _counter_totals(before), _counter_totals(after)
+    names = sorted(set(ca) | set(cb))
+    if names:
+        rows = [
+            [name, int(ca.get(name, 0)), int(cb.get(name, 0)),
+             _delta_pct(ca.get(name, 0), cb.get(name, 0))]
+            for name in names
+        ]
+        parts.append(format_table(
+            ["counter", label_a, label_b, "delta"], rows,
+            title="engine counters",
+        ))
+
+    if not parts:
+        return "both traces are empty"
+    return "\n\n".join(parts)
+
+
+def compare_trace_files(
+    path_a: Union[str, Path], path_b: Union[str, Path]
+) -> str:
+    """:func:`compare_traces` on two JSONL trace files, labelled by stem."""
+    return compare_traces(
+        load_trace(path_a),
+        load_trace(path_b),
+        label_a=Path(path_a).stem,
+        label_b=Path(path_b).stem,
+    )

@@ -22,7 +22,7 @@ from ..localsearch.chained_lk import ChainedLKResult
 from ..localsearch.engine import OpStats
 from ..tsp.tour import Tour
 
-__all__ = ["save_run", "load_run"]
+__all__ = ["save_run", "load_run", "save_trace", "load_trace"]
 
 _FORMAT_VERSION = 1
 
@@ -128,23 +128,31 @@ def load_run(path: Union[str, Path], instance):
             improvements=doc["improvements"],
             work_vsec=doc["work_vsec"],
             hit_target=doc["hit_target"],
-            trace=[(t, l) for t, l in doc["trace"]],
-            # Older run files predate engine telemetry; default to zeros.
+            trace=[(t, l) for t, l in doc.get("trace") or []],
+            # Older run files predate engine telemetry, and files written
+            # with observability disabled may carry explicit nulls;
+            # either way default to zeros.
             op_stats=OpStats.from_json(doc.get("op_stats")),
         )
     if doc["type"] == "distributed":
+        network = doc["network"]
+        # ``x.get(k, default)`` is not enough here: a writer with obs
+        # disabled emits the key with a null value, so absent *and* None
+        # must both fall back (the `or` idiom below covers both).
         stats = NetworkStats(
-            broadcasts=doc["network"]["broadcasts"],
-            gossip_pushes=doc["network"].get("gossip_pushes", 0),
-            messages=doc["network"]["messages"],
-            tour_messages=doc["network"]["tour_messages"],
-            notification_messages=doc["network"]["notification_messages"],
+            broadcasts=network["broadcasts"],
+            gossip_pushes=network.get("gossip_pushes") or 0,
+            messages=network["messages"],
+            tour_messages=network["tour_messages"],
+            notification_messages=network["notification_messages"],
             # Older run files predate the conservation counters.
-            delivered=doc["network"].get("delivered", 0),
-            dropped=doc["network"].get("dropped", 0),
-            broadcast_log=[(s, t) for s, t in doc["network"]["broadcast_log"]],
+            delivered=network.get("delivered") or 0,
+            dropped=network.get("dropped") or 0,
+            broadcast_log=[
+                (s, t) for s, t in network.get("broadcast_log") or []
+            ],
             gossip_log=[
-                (s, t) for s, t in doc["network"].get("gossip_log", [])
+                (s, t) for s, t in network.get("gossip_log") or []
             ],
         )
         return SimulationResult(
@@ -158,10 +166,29 @@ def load_run(path: Union[str, Path], instance):
                 for k, v in doc["events"].items()
             },
             network_stats=stats,
-            global_trace=[(t, l) for t, l in doc["global_trace"]],
+            global_trace=[(t, l) for t, l in doc.get("global_trace") or []],
             op_stats={
                 int(k): OpStats.from_json(v)
-                for k, v in doc.get("op_stats", {}).items()
+                for k, v in (doc.get("op_stats") or {}).items()
             },
         )
     raise ValueError(f"unknown run type {doc['type']!r}")
+
+
+def save_trace(tracer, path: Union[str, Path]) -> None:
+    """Export an observability tracer's spans + metrics as JSONL.
+
+    Thin persistence front-end over :func:`repro.obs.export.write_jsonl`
+    so run artefacts and trace artefacts are saved through the same
+    module (and the same tolerance rules on reload).
+    """
+    from ..obs.export import write_jsonl
+
+    write_jsonl(tracer, path)
+
+
+def load_trace(path: Union[str, Path]):
+    """Reload a JSONL trace as a :class:`repro.obs.export.TraceData`."""
+    from ..obs.export import read_jsonl
+
+    return read_jsonl(path)

@@ -6,6 +6,9 @@
     python -m repro exact uniform:14:7
     python -m repro info pcb250
     python -m repro testbed
+    python -m repro solve fl300 --trace run.trace.jsonl
+    python -m repro trace summarize run.trace.jsonl
+    python -m repro trace compare before.jsonl after.jsonl
 
 INSTANCE arguments resolve, in order, as: a path to a TSPLIB ``.tsp``
 file; a testbed registry name (ours or the paper's); or a generator spec
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from . import __version__
@@ -54,6 +58,26 @@ def resolve_instance(spec: str):
     )
 
 
+@contextmanager
+def _trace_to(path):
+    """Run the body under a fresh enabled tracer; export JSONL on exit.
+
+    ``path`` falsy → no-op (the ambient tracer, normally disabled, stays
+    in effect), so commands can wrap their solver call unconditionally.
+    """
+    if not path:
+        yield
+        return
+    from .analysis.runio import save_trace
+    from .obs import Tracer, use_tracer
+
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        yield
+    save_trace(tracer, path)
+    print(f"trace written to {path}")
+
+
 def _cmd_solve(args) -> int:
     from .core import solve
 
@@ -61,18 +85,19 @@ def _cmd_solve(args) -> int:
     target = args.target
     if target is None and args.use_best_known:
         target = registry.best_known(inst.name)
-    result = solve(
-        inst,
-        budget_vsec_per_node=args.budget,
-        n_nodes=args.nodes,
-        kick=args.kick,
-        topology=args.topology if args.nodes > 1 else {0: ()},
-        c_v=args.cv,
-        c_r=args.cr,
-        target_length=target,
-        backbone_support=args.backbone,
-        rng=args.seed,
-    )
+    with _trace_to(args.trace):
+        result = solve(
+            inst,
+            budget_vsec_per_node=args.budget,
+            n_nodes=args.nodes,
+            kick=args.kick,
+            topology=args.topology if args.nodes > 1 else {0: ()},
+            c_v=args.cv,
+            c_r=args.cr,
+            target_length=target,
+            backbone_support=args.backbone,
+            rng=args.seed,
+        )
     print(f"instance {inst.name} (n={inst.n})")
     print(f"best tour: {result.best_length} "
           f"(node {result.best_node} at {result.best_found_at:.2f} vsec)")
@@ -96,10 +121,11 @@ def _cmd_clk(args) -> int:
     from .localsearch import chained_lk
 
     inst = resolve_instance(args.instance)
-    result = chained_lk(
-        inst, budget_vsec=args.budget, kick=args.kick,
-        target_length=args.target, rng=args.seed,
-    )
+    with _trace_to(args.trace):
+        result = chained_lk(
+            inst, budget_vsec=args.budget, kick=args.kick,
+            target_length=args.target, rng=args.seed,
+        )
     print(f"instance {inst.name} (n={inst.n})")
     print(f"tour: {result.length} after {result.kicks} kicks "
           f"({result.improvements} improvements, "
@@ -156,6 +182,20 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .analysis.runio import load_trace
+
+    if args.trace_command == "summarize":
+        from .obs import summarize_trace
+
+        print(summarize_trace(load_trace(args.path)))
+    else:
+        from .analysis.obs_report import compare_trace_files
+
+        print(compare_trace_files(args.a, args.b))
+    return 0
+
+
 def _cmd_testbed(_args) -> int:
     print(f"{'name':<10} {'paper':<10} {'n':>5}  {'class':<6} "
           f"{'best known':>10}  {'HK bound':>10}")
@@ -198,6 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="write .tour file")
     p.add_argument("--save-run", default=None, help="save run JSON")
+    p.add_argument("--trace", default=None,
+                   help="record an observability trace (JSONL) to this path")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("clk", help="sequential Chained LK (ABCC baseline)")
@@ -208,7 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None)
+    p.add_argument("--trace", default=None,
+                   help="record an observability trace (JSONL) to this path")
     p.set_defaults(func=_cmd_clk)
+
+    p = sub.add_parser("trace", help="inspect observability traces (JSONL)")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ps = tsub.add_parser(
+        "summarize", help="time-in-phase, span tree, and histograms"
+    )
+    ps.add_argument("path")
+    ps.set_defaults(func=_cmd_trace)
+    pc = tsub.add_parser(
+        "compare", help="diff two traces (phases, spans, counters)"
+    )
+    pc.add_argument("a")
+    pc.add_argument("b")
+    pc.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("bound", help="Held-Karp lower bound")
     p.add_argument("instance")

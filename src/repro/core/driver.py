@@ -15,6 +15,7 @@ import numpy as np
 from ..distributed.network import LatencyModel
 from ..distributed.simulator import SimulationResult, run_simulation
 from ..localsearch.lin_kernighan import LKConfig
+from ..obs import get_tracer
 from ..utils.rng import ensure_rng, spawn_rngs
 from .node import NodeConfig
 
@@ -59,18 +60,21 @@ def solve(
         backbone_support=backbone_support,
         free_init=free_init,
     )
-    return run_simulation(
-        instance,
-        budget_vsec_per_node,
-        n_nodes=n_nodes,
-        node_config=config,
-        topology=topology,
-        latency=latency,
-        churn=churn,
-        dissemination=dissemination,
-        gossip_fanout=gossip_fanout,
-        rng=rng,
-    )
+    with get_tracer().span(
+        "solve", instance=getattr(instance, "name", "?"), n_nodes=n_nodes
+    ):
+        return run_simulation(
+            instance,
+            budget_vsec_per_node,
+            n_nodes=n_nodes,
+            node_config=config,
+            topology=topology,
+            latency=latency,
+            churn=churn,
+            dissemination=dissemination,
+            gossip_fanout=gossip_fanout,
+            rng=rng,
+        )
 
 
 @dataclass

@@ -34,6 +34,7 @@ from typing import Optional
 from ..localsearch.chained_lk import ChainedLK
 from ..localsearch.kicks import apply_double_bridge
 from ..localsearch.lin_kernighan import LKConfig
+from ..obs import get_tracer
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng
 from ..utils.sanitize import check_tour, sanitize_enabled
@@ -107,6 +108,9 @@ class EANode:
         self._last_strength = 1
         self.events = EventLog(node_id)
         self.done_reason: Optional[str] = None
+        #: Observability sink shared with the inner CLK solver; captured
+        #: once so phase spans cost one attribute check when disabled.
+        self.tracer = get_tracer()
         self._elite = (
             ElitePool(config.elite_capacity)
             if config.backbone_support > 0.0
@@ -140,21 +144,29 @@ class EANode:
         """
         meter = WorkMeter.with_vsec_budget(max(budget_vsec, 1e-9))
         base_ops = 0.0
+        tracer = self.tracer
         if self.s_best is None:
             # s_prev := INITIALTOUR; s := CLK(s_prev)
-            if self.config.free_init:
-                meter.budget_ops = None  # bootstrap always completes
-            tour = self.clk.initial_tour(meter)
-            if self.config.free_init:
-                base_ops = meter.ops
-                meter.budget_ops = (
-                    base_ops + max(budget_vsec, 1e-9) * _OPS_PER_VSEC
-                )
-            self.s_prev = tour.copy()
-            cand = self._clk_call(tour, dirty=None, meter=meter)
+            # The bootstrap (construction + first LK pass) is part of the
+            # optimize phase; with free_init its vsec is uncharged on the
+            # node clock, so phase sums exceed the clock by exactly the
+            # bootstrap cost (documented in docs/OBSERVABILITY.md).
+            with tracer.span("phase.optimize", vt=meter, node=self.node_id):
+                if self.config.free_init:
+                    meter.budget_ops = None  # bootstrap always completes
+                tour = self.clk.initial_tour(meter)
+                if self.config.free_init:
+                    base_ops = meter.ops
+                    meter.budget_ops = (
+                        base_ops + max(budget_vsec, 1e-9) * _OPS_PER_VSEC
+                    )
+                self.s_prev = tour.copy()
+                cand = self._clk_call(tour, dirty=None, meter=meter)
         else:
-            tour, dirty = self._perturbate(meter)
-            cand = self._clk_call(tour, dirty=dirty, meter=meter)
+            with tracer.span("phase.perturb", vt=meter, node=self.node_id):
+                tour, dirty = self._perturbate(meter)
+            with tracer.span("phase.optimize", vt=meter, node=self.node_id):
+                cand = self._clk_call(tour, dirty=dirty, meter=meter)
         return (meter.ops - base_ops) / _OPS_PER_VSEC, cand
 
     def _perturbate(self, meter: WorkMeter) -> tuple[Tour, Optional[set]]:
@@ -164,7 +176,9 @@ class EANode:
             self.num_no_improvements = 0
             self._last_strength = 1
             self.events.record(self.clock, EventKind.RESTART)
-            tour = self.clk.initial_tour(meter)
+            with self.tracer.span("clk.restart", vt=meter,
+                                  node=self.node_id):
+                tour = self.clk.initial_tour(meter)
             return tour, None
         strength = self.num_no_improvements // cfg.c_v + 1
         if strength != self._last_strength:
@@ -189,18 +203,19 @@ class EANode:
 
     def _clk_call(self, tour: Tour, dirty, meter: WorkMeter) -> Tour:
         """One 'linkern' invocation: LK pass then ``inner_kicks`` chained kicks."""
-        fixed = self._backbone()
-        self.clk.lk.optimize(tour, meter, dirty=dirty, fixed=fixed)
-        best = tour
-        target = self.config.target_length
-        for _ in range(self.config.inner_kicks):
-            if meter.exhausted():
-                break
-            if target is not None and best.length <= target:
-                break
-            cand = self.clk.step(best, meter, fixed=fixed)
-            if cand.length <= best.length:
-                best = cand
+        with self.tracer.span("clk.call", vt=meter, node=self.node_id):
+            fixed = self._backbone()
+            self.clk.lk.optimize(tour, meter, dirty=dirty, fixed=fixed)
+            best = tour
+            target = self.config.target_length
+            for _ in range(self.config.inner_kicks):
+                if meter.exhausted():
+                    break
+                if target is not None and best.length <= target:
+                    break
+                cand = self.clk.step(best, meter, fixed=fixed)
+                if cand.length <= best.length:
+                    best = cand
         return best
 
     # -- Figure 1: selection phase ----------------------------------------------
@@ -211,6 +226,17 @@ class EANode:
         Updates counters per the pseudocode; returns what the transport
         layer must do (broadcast / terminate).
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._select(candidate, messages)
+        # Selection consumes no metered work: the span is wall-only plus
+        # a zero-width virtual stamp at the node's current clock, so the
+        # phase exists in time-in-phase tables without claiming budget.
+        with tracer.span("phase.select", vt=lambda: self.clock,
+                         node=self.node_id):
+            return self._select(candidate, messages)
+
+    def _select(self, candidate: Tour, messages: list[Message]) -> SelectOutcome:
         notified = any(m.kind is MessageKind.OPTIMUM_FOUND for m in messages)
         received: list[Tour] = []
         for m in messages:

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.node import EANode, NodeConfig
+from ..obs import get_tracer
 from ..tsp.instance import TSPInstance
 from ..tsp.tour import Tour
 from .message import (
@@ -324,10 +325,24 @@ def run_multiprocessing(
         shutdown_grace=shutdown_grace,
         heartbeat_timeout=heartbeat_timeout,
     )
-    results = supervisor.run()
+    tracer = get_tracer()
+    with tracer.span("mp.run", n_nodes=n_nodes):
+        results = supervisor.run()
     reports = supervisor.reports
     elapsed = time.monotonic() - t0
     manager.shutdown()
+    if tracer.enabled:
+        # Parent-side view of each worker (workers are separate
+        # processes; their own spans never cross the pickle boundary).
+        for i, report in reports.items():
+            tracer.metrics.inc("mp.iterations", report.iterations, node=i)
+            if report.dropped_tours:
+                tracer.metrics.inc(
+                    "mp.dropped_tours", report.dropped_tours, node=i
+                )
+            tracer.metrics.set_gauge(
+                "mp.loop_seconds", report.loop_seconds, node=i
+            )
 
     reported = {i: v for i, v in results.items() if v[1] is not None}
     if not reported:

@@ -68,7 +68,8 @@ class SimulatedNetwork:
 
     def __init__(self, topology: dict[int, tuple[int, ...]],
                  latency: LatencyModel | None = None,
-                 require_connected: bool = False):
+                 require_connected: bool = False,
+                 metrics=None):
         # Partitioned topologies are legal for the transport (isolated
         # nodes simply never receive anything); callers wanting a
         # guarantee pass require_connected=True.
@@ -78,6 +79,10 @@ class SimulatedNetwork:
         self._inboxes: dict[int, list] = {i: [] for i in topology}
         self._seq = 0
         self.stats = NetworkStats()
+        #: Optional observability registry (repro.obs.Metrics); when set,
+        #: collect() records per-message delivery latency and the inbox
+        #: depth it found.  None keeps the transport observability-free.
+        self.metrics = metrics
 
     def neighbors(self, node_id: int) -> tuple[int, ...]:
         return self.topology[node_id]
@@ -139,9 +144,20 @@ class SimulatedNetwork:
     def collect(self, node_id: int, up_to: float) -> list[Message]:
         """Drain messages that have arrived at ``node_id`` by time ``up_to``."""
         inbox = self._inboxes[node_id]
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.observe("net.queue_depth", len(inbox), node=node_id)
         out = []
         while inbox and inbox[0][0] <= up_to:
-            out.append(heapq.heappop(inbox)[2])
+            arrival, _seq, msg = heapq.heappop(inbox)
+            if metrics is not None:
+                # Transit latency (virtual seconds): the latency-model
+                # delay; exported per message kind for the summarizer.
+                metrics.observe(
+                    "net.msg_latency_vsec", arrival - msg.sent_at,
+                    kind=msg.kind.name,
+                )
+            out.append(msg)
         self.stats.delivered += len(out)
         return out
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.node import EANode, NodeConfig
+from ..obs import get_tracer
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng, spawn_rngs
 from ..utils.sanitize import (
@@ -125,7 +126,13 @@ class Simulator:
             raise ValueError(f"unknown dissemination {dissemination!r}")
         self.dissemination = dissemination
         self.gossip_fanout = max(1, int(gossip_fanout))
-        self.network = SimulatedNetwork(topology, latency)
+        # Observability: captured once; the network gets the metrics
+        # registry so it can record per-message delivery latency.
+        self.tracer = get_tracer()
+        self.network = SimulatedNetwork(
+            topology, latency,
+            metrics=self.tracer.metrics if self.tracer.enabled else None,
+        )
         parent = ensure_rng(rng)
         self._gossip_rng = ensure_rng(int(parent.integers(2**63 - 1)))
         rngs = spawn_rngs(parent, n_total)
@@ -156,6 +163,7 @@ class Simulator:
             leave = self._leave_at.get(n.node_id, float("inf"))
             return min(budget_vsec_per_node, leave)
 
+        traced = self.tracer.enabled
         while True:
             runnable = [
                 n for n in nodes if not n.done and n.clock < deadline(n)
@@ -163,25 +171,13 @@ class Simulator:
             if not runnable:
                 break
             node = min(runnable, key=lambda n: (n.clock, n.node_id))
-            remaining = deadline(node) - node.clock
-            work, candidate = node.compute(remaining)
-            node.clock += work
-            messages = net.collect(node.node_id, node.clock)
-            outcome = node.select(candidate, messages)
-            if self._sanitize:
-                check_message_conservation(
-                    net, context=f"after step of node {node.node_id}"
-                )
-            if outcome.broadcast is not None:
-                order, length = tour_payload(outcome.broadcast)
-                self._disseminate(node, length, order)
-            if outcome.done_reason in ("optimum", "notified"):
-                # Propagate the stop signal (hop-by-hop flooding).
-                order, length = tour_payload(node.s_best)
-                net.broadcast(
-                    node.node_id, MessageKind.OPTIMUM_FOUND, length, order,
-                    sent_at=node.clock,
-                )
+            if traced:
+                with self.tracer.span(
+                    "sim.step", vt=lambda: node.clock, node=node.node_id
+                ):
+                    self._run_step(node, deadline(node))
+            else:
+                self._run_step(node, deadline(node))
             if not node.done and node.clock >= deadline(node):
                 leave = self._leave_at.get(node.node_id, float("inf"))
                 node.stop("left" if node.clock >= leave else "budget")
@@ -190,6 +186,31 @@ class Simulator:
             if not node.done:  # pragma: no cover - defensive
                 node.stop("budget")
         return self._collect_result()
+
+    def _run_step(self, node, node_deadline: float) -> None:
+        """One EA iteration of ``node``: compute, collect, select, send."""
+        net = self.network
+        work, candidate = node.compute(node_deadline - node.clock)
+        node.clock += work
+        messages = net.collect(node.node_id, node.clock)
+        outcome = node.select(candidate, messages)
+        if self._sanitize:
+            check_message_conservation(
+                net, context=f"after step of node {node.node_id}"
+            )
+        if outcome.broadcast is not None:
+            with self.tracer.span(
+                "phase.broadcast", vt=lambda: node.clock, node=node.node_id
+            ):
+                order, length = tour_payload(outcome.broadcast)
+                self._disseminate(node, length, order)
+        if outcome.done_reason in ("optimum", "notified"):
+            # Propagate the stop signal (hop-by-hop flooding).
+            order, length = tour_payload(node.s_best)
+            net.broadcast(
+                node.node_id, MessageKind.OPTIMUM_FOUND, length, order,
+                sent_at=node.clock,
+            )
 
     def _alive_peers(self, sender: int) -> list:
         return [
@@ -226,6 +247,16 @@ class Simulator:
         if self._sanitize:
             check_tour(best_node.s_best, "simulation best tour")
             check_message_conservation(self.network, context="end of run")
+        if self.tracer.enabled:
+            # Per-node run summary into the metrics registry: final
+            # clocks (the accounting anchor for time-in-phase tables)
+            # and cumulative engine telemetry.
+            metrics = self.tracer.metrics
+            for n in nodes:
+                metrics.set_gauge("node.clock_vsec", n.clock, node=n.node_id)
+                n.op_stats.emit(metrics, node=n.node_id)
+            metrics.inc("net.broadcasts", self.network.stats.broadcasts)
+            metrics.inc("net.messages", self.network.stats.messages)
         # Merge improvement events into the global anytime curve.
         merged: list[tuple[float, int]] = []
         for n in nodes:

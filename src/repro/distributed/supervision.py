@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..obs import get_tracer
 from .message import WIRE_NEIGHBORS, WIRE_STOP, WIRE_TOUR, wire_encode
 from .topology import remove_node
 
@@ -221,6 +222,10 @@ class Supervisor:
         for node_id in self.procs:
             self.reports[node_id] = NodeReport(node_id=node_id)
         self._failed: set[int] = set()
+        tracer = get_tracer()
+        #: Observability registry (None when tracing is off): heartbeat
+        #: gap histograms + crash/restart counters, supervisor-side.
+        self._metrics = tracer.metrics if tracer.enabled else None
         self._t0 = time.monotonic()
         #: Wall time of each node's first observed heartbeat — the point
         #: its budget clock actually started.
@@ -293,12 +298,16 @@ class Supervisor:
         self._failed.discard(node_id)
 
     def _observe_heartbeats(self, now: float) -> None:
+        metrics = self._metrics
         for node_id in self.procs:
             hb = self.heartbeats.get(node_id)
             if hb is None:
                 continue
             self._started.setdefault(node_id, hb[0])
-            self.reports[node_id].heartbeat_age = now - hb[0]
+            age = now - hb[0]
+            self.reports[node_id].heartbeat_age = age
+            if metrics is not None:
+                metrics.observe("mp.heartbeat_gap_s", age, node=node_id)
 
     def _check_liveness(self, results: dict, now: float) -> None:
         for node_id, p in list(self.procs.items()):
@@ -325,6 +334,8 @@ class Supervisor:
 
     def _on_crash(self, node_id: int, now: float) -> None:
         report = self.reports[node_id]
+        if self._metrics is not None:
+            self._metrics.inc("mp.crashes", 1, node=node_id)
         started = self._started.get(node_id, now)
         remaining = started + self.budget_seconds - now
         if (
@@ -333,6 +344,8 @@ class Supervisor:
             and remaining > self.min_restart_budget
         ):
             report.restarts += 1
+            if self._metrics is not None:
+                self._metrics.inc("mp.restarts", 1, node=node_id)
             self.procs[node_id] = self.spawn(
                 node_id, self.topology[node_id], remaining,
                 report.crashes,

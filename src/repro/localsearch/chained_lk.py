@@ -27,6 +27,7 @@ from typing import Callable, Optional
 
 
 from ..construct.quick_boruvka import quick_boruvka
+from ..obs import get_tracer
 from ..tsp.tour import Tour
 from ..utils.rng import ensure_rng
 from ..utils.work import OPS_PER_VSEC, WorkMeter
@@ -86,6 +87,8 @@ class ChainedLK:
         self.rng = ensure_rng(rng)
         self.polish = tuple(polish)
         self._polish_ops = [get_operator(name) for name in self.polish]
+        # Captured at construction: one attribute check per span site.
+        self.tracer = get_tracer()
 
     @property
     def stats(self) -> OpStats:
@@ -95,9 +98,10 @@ class ChainedLK:
     def initial_tour(self, meter: WorkMeter | None = None) -> Tour:
         """Quick-Borůvka construction followed by a full LK pass."""
         meter = meter if meter is not None else WorkMeter()
-        tour = quick_boruvka(self.instance, rng=self.rng)
-        meter.tick(self.instance.n)  # construction cost, roughly linear
-        self.lk.optimize(tour, meter)
+        with self.tracer.span("clk.init", vt=meter):
+            tour = quick_boruvka(self.instance, rng=self.rng)
+            meter.tick(self.instance.n)  # construction cost, roughly linear
+            self.lk.optimize(tour, meter)
         return tour
 
     def step(self, best: Tour, meter: WorkMeter, n_kicks: int = 1,
@@ -110,13 +114,14 @@ class ChainedLK:
         extension).  Returns the candidate tour; the caller decides
         acceptance.
         """
-        cand = best.copy()
-        dirty: set[int] = set()
-        for _ in range(max(1, n_kicks)):
-            positions = self._kick_fn(cand, self.rng)
-            dirty.update(apply_double_bridge(cand, positions))
-            meter.tick(cand.n // 8 + 8)  # kick cost: O(n) rewiring
-        self.lk.optimize(cand, meter, dirty=dirty, fixed=fixed)
+        with self.tracer.span("clk.kick", vt=meter):
+            cand = best.copy()
+            dirty: set[int] = set()
+            for _ in range(max(1, n_kicks)):
+                positions = self._kick_fn(cand, self.rng)
+                dirty.update(apply_double_bridge(cand, positions))
+                meter.tick(cand.n // 8 + 8)  # kick cost: O(n) rewiring
+            self.lk.optimize(cand, meter, dirty=dirty, fixed=fixed)
         return cand
 
     def run(
@@ -191,6 +196,11 @@ class ChainedLK:
             if best.length < before:
                 improvements += 1
                 record(best.length)
+        op_stats = self.lk.stats - stats0
+        if self.tracer.enabled:
+            # Windowed engine telemetry for this run only; the kick and
+            # init spans carry the time axis, the counters the volume.
+            op_stats.emit(self.tracer.metrics, run="clk")
         return ChainedLKResult(
             tour=best,
             kicks=kicks,
@@ -198,7 +208,7 @@ class ChainedLK:
             work_vsec=meter.vsec - t0,
             hit_target=hit,
             trace=trace,
-            op_stats=self.lk.stats - stats0,
+            op_stats=op_stats,
         )
 
 

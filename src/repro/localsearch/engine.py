@@ -203,7 +203,23 @@ class OpStats:
         and of ``None`` (older run files carry no stats at all)."""
         if not data:
             return cls()
-        return cls(**{f: data.get(f, 0) for f in cls.FIELDS})
+        return cls(**{f: data.get(f, 0) or 0 for f in cls.FIELDS})
+
+    # -- observability bridge -----------------------------------------------
+
+    def emit(self, metrics, **labels) -> None:
+        """Flush the counters into an observability metrics registry.
+
+        Each field becomes one ``engine.<field>`` counter series under
+        ``labels`` (typically ``node=<id>`` or ``run=<name>``).  Callers
+        own the windowing: emit a *delta* (``after - before``) when the
+        same OpStats accumulates across calls, or the cumulative object
+        exactly once per run (the simulator does the latter per node).
+        """
+        for f in self.FIELDS:
+            value = getattr(self, f)
+            if value:
+                metrics.inc(f"engine.{f}", value, **labels)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
@@ -262,10 +278,23 @@ def run_pipeline(tour, names: Iterable[str], candidates=None, meter=None,
     same meter and the same stats sink — e.g.
     ``run_pipeline(t, ("lk", "or_opt"))`` is the LK + Or-opt polish
     pipeline.  Extra keyword arguments are forwarded to every operator.
+
+    When the global tracer is enabled each operator call is wrapped in
+    an ``op.<name>`` span (virtual timestamps from ``meter`` when one is
+    given); disabled tracing costs one attribute check per operator.
     """
+    from ..obs import get_tracer
+
+    tracer = get_tracer()
     total = 0
     for name in names:
-        total += get_operator(name)(
-            tour, candidates=candidates, meter=meter, stats=stats, **kwargs
-        )
+        op = get_operator(name)
+        if tracer.enabled:
+            with tracer.span(f"op.{name}", vt=meter):
+                gain = op(tour, candidates=candidates, meter=meter,
+                          stats=stats, **kwargs)
+        else:
+            gain = op(tour, candidates=candidates, meter=meter,
+                      stats=stats, **kwargs)
+        total += gain
     return total

@@ -1,0 +1,135 @@
+"""JSONL trace export/import.
+
+One JSON object per line: a ``meta`` header, every span in recording
+order, then every metric series (counters, gauges, histograms).  JSONL
+keeps traces greppable, appendable, and loadable without holding the
+whole document in memory at once; :class:`TraceData` is the in-memory
+read-side, shared by ``python -m repro trace summarize`` and
+:mod:`repro.analysis.obs_report`.
+
+Readers are tolerant the same way :mod:`repro.analysis.runio` is: a
+trace written with observability disabled (or by an older version) may
+carry no spans and no metrics at all — every accessor degrades to empty
+collections rather than raising.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from .metrics import Histogram
+from .tracer import Span, Tracer
+
+__all__ = ["TraceData", "write_jsonl", "read_jsonl"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceData:
+    """Read-side of one exported trace."""
+
+    spans: list = field(default_factory=list)
+    #: name -> {label_key(tuple of (k, v)): value}
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    #: name -> {label_key: Histogram}
+    hists: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def spans_named(self, prefix: str) -> list:
+        """Spans whose name matches ``prefix`` exactly or as a dotted
+        prefix (``"phase"`` matches ``phase.optimize``)."""
+        dotted = prefix + "."
+        return [
+            s for s in self.spans
+            if s.name == prefix or s.name.startswith(dotted)
+        ]
+
+    def children(self, span: Span) -> list:
+        return [s for s in self.spans if s.parent == span.index]
+
+
+def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> None:
+    """Export a tracer's spans and metrics as JSONL."""
+    lines = [json.dumps({
+        "t": "meta",
+        "format": _FORMAT_VERSION,
+        "enabled": tracer.enabled,
+        "n_spans": len(tracer.spans),
+    })]
+    for span in tracer.spans:
+        lines.append(json.dumps(span.to_json()))
+    metrics = tracer.metrics
+    for name, series in sorted(metrics.counters.items()):
+        for key, value in sorted(series.items()):
+            lines.append(json.dumps({
+                "t": "counter", "name": name,
+                "labels": dict(key), "value": value,
+            }))
+    for name, series in sorted(metrics.gauges.items()):
+        for key, value in sorted(series.items()):
+            lines.append(json.dumps({
+                "t": "gauge", "name": name,
+                "labels": dict(key), "value": value,
+            }))
+    for name, series in sorted(metrics.hists.items()):
+        for key, hist in sorted(series.items()):
+            doc = {"t": "hist", "name": name, "labels": dict(key)}
+            doc.update(hist.to_json())
+            lines.append(json.dumps(doc))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def _span_from_json(doc: dict) -> Span:
+    span = Span(
+        index=int(doc["i"]),
+        name=doc["name"],
+        labels=dict(doc.get("labels") or {}),
+        parent=doc.get("parent"),
+        depth=int(doc.get("depth", 0)),
+    )
+    span.wall = float(doc.get("wall") or 0.0)
+    span.v0 = doc.get("v0")
+    span.v1 = doc.get("v1")
+    return span
+
+
+def read_jsonl(path: Union[str, Path]) -> TraceData:
+    """Load an exported trace; tolerant of empty / metric-free files."""
+    data = TraceData()
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(
+                f"{path}:{lineno}: not valid JSONL ({err})"
+            ) from err
+        kind = doc.get("t")
+        if kind == "meta":
+            if doc.get("format") != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format: {doc.get('format')!r}"
+                )
+            data.meta = doc
+        elif kind == "span":
+            data.spans.append(_span_from_json(doc))
+        elif kind == "counter":
+            key = tuple(sorted((doc.get("labels") or {}).items()))
+            data.counters.setdefault(doc["name"], {})[key] = doc["value"]
+        elif kind == "gauge":
+            key = tuple(sorted((doc.get("labels") or {}).items()))
+            data.gauges.setdefault(doc["name"], {})[key] = doc["value"]
+        elif kind == "hist":
+            key = tuple(sorted((doc.get("labels") or {}).items()))
+            data.hists.setdefault(doc["name"], {})[key] = \
+                Histogram.from_json(doc)
+        # Unknown record kinds are skipped: forward compatibility.
+    return data

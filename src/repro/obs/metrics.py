@@ -1,0 +1,187 @@
+"""Metrics registry: counters, gauges, histograms with per-node labels.
+
+Series are keyed by ``(metric name, sorted label items)``.  Per metric
+name the number of distinct label sets is capped
+(:attr:`Metrics.max_series`): observability must never be the thing that
+eats the memory of a long run because someone labelled a counter with a
+message sequence number.  Excess series fold into a single overflow
+series per name and are counted in :attr:`Metrics.dropped_series`.
+
+Histograms use fixed upper-bound buckets (default: decades from 1e-6 to
+1e3) plus an implicit overflow bucket, and track count/sum/min/max so
+means survive export even when the bucket resolution is coarse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Histogram", "Metrics", "NULL_METRICS", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds (virtual seconds / wall seconds
+#: both live comfortably on a decade grid).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0,
+)
+
+#: Label-set key used when a metric exceeds the cardinality cap.
+OVERFLOW_KEY: tuple = (("overflow", "true"),)
+
+
+def label_key(labels: dict) -> tuple:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max side-car stats."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        lo = 0
+        hi = len(self.bounds)
+        while lo < hi:  # bisect over the (small) bound list
+            mid = (lo + hi) // 2
+            if v <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_json(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Histogram":
+        h = cls(tuple(data["bounds"]))
+        h.counts = [int(c) for c in data["counts"]]
+        h.count = int(data["count"])
+        h.total = float(data["sum"])
+        h.min = data.get("min")
+        h.max = data.get("max")
+        return h
+
+
+class Metrics:
+    """Counter / gauge / histogram registry with labelled series.
+
+    All mutators are cheap dict operations; hot loops should still batch
+    (accumulate locally, flush once per call) exactly as they do for
+    :class:`~repro.localsearch.engine.OpStats`.
+    """
+
+    __slots__ = ("counters", "gauges", "hists", "max_series", "dropped_series")
+
+    def __init__(self, max_series: int = 256):
+        #: name -> {label_key: value}
+        self.counters: dict[str, dict[tuple, float]] = {}
+        self.gauges: dict[str, dict[tuple, float]] = {}
+        #: name -> {label_key: Histogram}
+        self.hists: dict[str, dict[tuple, Histogram]] = {}
+        self.max_series = int(max_series)
+        #: Series discarded into the overflow key by the cardinality cap.
+        self.dropped_series = 0
+
+    # -- series admission -----------------------------------------------------
+
+    def _slot(self, table: dict, name: str, labels: dict) -> tuple:
+        series = table.setdefault(name, {})
+        key = label_key(labels)
+        if key not in series and len(series) >= self.max_series:
+            self.dropped_series += 1
+            return OVERFLOW_KEY
+        return key
+
+    # -- mutators --------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` to the counter series ``name``/``labels``."""
+        key = self._slot(self.counters, name, labels)
+        series = self.counters[name]
+        series[key] = series.get(key, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Record the current value of a gauge series (last write wins)."""
+        key = self._slot(self.gauges, name, labels)
+        self.gauges[name][key] = float(value)
+
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] = DEFAULT_BUCKETS, **labels) -> None:
+        """Record one sample into the histogram series ``name``/``labels``."""
+        key = self._slot(self.hists, name, labels)
+        series = self.hists[name]
+        hist = series.get(key)
+        if hist is None:
+            hist = series[key] = Histogram(bounds)
+        hist.observe(value)
+
+    # -- queries ---------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Current value of one counter series (0.0 when absent)."""
+        return self.counters.get(name, {}).get(label_key(labels), 0.0)
+
+    def histogram(self, name: str, **labels) -> Optional[Histogram]:
+        return self.hists.get(name, {}).get(label_key(labels))
+
+    def series_count(self, name: str) -> int:
+        """Distinct label sets currently held for a metric name."""
+        return sum(
+            len(table.get(name, ()))
+            for table in (self.counters, self.gauges, self.hists)
+        )
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.hists.clear()
+        self.dropped_series = 0
+
+
+class _NullMetrics(Metrics):
+    """Shared no-op registry handed out by disabled tracers.
+
+    Instrumentation may call it unconditionally; nothing is stored, so
+    the disabled path costs one method call and no allocation.
+    """
+
+    __slots__ = ()
+
+    def inc(self, name, value=1.0, **labels):  # noqa: D102 - no-op
+        return None
+
+    def set_gauge(self, name, value, **labels):
+        return None
+
+    def observe(self, name, value, bounds=DEFAULT_BUCKETS, **labels):
+        return None
+
+
+NULL_METRICS = _NullMetrics()

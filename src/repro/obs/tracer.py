@@ -1,0 +1,260 @@
+"""Span-based tracer over two time domains: virtual seconds and wall clock.
+
+A span measures one region of execution.  Every span records its
+wall-clock duration (``time.perf_counter`` — sanctioned here and only
+here among virtual-time callers, see RPL002 in docs/CHECKS.md); a span
+additionally records *virtual* start/end timestamps when the caller
+passes ``vt=`` a virtual-time source — a
+:class:`~repro.utils.work.WorkMeter` (its ``.vsec`` property) or any
+zero-argument callable returning virtual seconds (e.g.
+``lambda: node.clock``).  That split is the whole point: virtual time
+says where the *algorithm's budget* goes, wall time says where the
+*Python interpreter's* time goes, and the two disagree exactly where a
+hot loop needs attention.
+
+Spans nest via a per-tracer stack; the exporter and the summarizer
+reconstruct the tree from ``parent`` indices.
+
+Disabled mode is the default and is engineered to be ~free: ``span()``
+returns one shared no-op context manager (an *identity* fast path —
+every disabled call site gets the same object, no allocation), and the
+``metrics`` attribute is the shared no-op registry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from .metrics import NULL_METRICS, Metrics
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "obs_enabled",
+    "set_obs",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+_env_enabled: Optional[bool] = None
+
+
+def obs_enabled() -> bool:
+    """True when ``REPRO_OBS`` is set to a truthy value (read once)."""
+    global _env_enabled
+    if _env_enabled is None:
+        _env_enabled = os.environ.get("REPRO_OBS", "").strip().lower() not in (
+            "", "0", "false", "off", "no",
+        )
+    return _env_enabled
+
+
+def set_obs(enabled: Optional[bool]) -> None:
+    """Override the env flag (``None`` resets to re-read the environment).
+
+    Affects tracers constructed *afterwards* (including the global one
+    after a :func:`set_tracer` reset); an existing tracer's ``enabled``
+    is fixed at construction so hot paths never re-read state.
+    """
+    global _env_enabled
+    _env_enabled = enabled
+
+
+def _vnow(vt) -> float:
+    """Read a virtual-time source: ``.vsec`` attribute or callable."""
+    vsec = getattr(vt, "vsec", None)
+    if vsec is not None:
+        return float(vsec)
+    return float(vt())
+
+
+class Span:
+    """One completed (or in-flight) traced region."""
+
+    __slots__ = ("index", "name", "labels", "parent", "depth",
+                 "wall", "v0", "v1")
+
+    def __init__(self, index: int, name: str, labels: dict,
+                 parent: Optional[int], depth: int):
+        self.index = index
+        self.name = name
+        self.labels = labels
+        self.parent = parent
+        self.depth = depth
+        self.wall = 0.0            # wall-clock duration, seconds
+        self.v0: Optional[float] = None  # virtual start, vsec
+        self.v1: Optional[float] = None  # virtual end, vsec
+
+    @property
+    def vdur(self) -> float:
+        """Virtual duration (0.0 for wall-only spans)."""
+        if self.v0 is None or self.v1 is None:
+            return 0.0
+        return self.v1 - self.v0
+
+    def to_json(self) -> dict:
+        return {
+            "t": "span",
+            "i": self.index,
+            "name": self.name,
+            "labels": self.labels,
+            "parent": self.parent,
+            "depth": self.depth,
+            "wall": self.wall,
+            "v0": self.v0,
+            "v1": self.v1,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, wall={self.wall:.6f}, "
+                f"vdur={self.vdur:.6f}, labels={self.labels})")
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one live span."""
+
+    __slots__ = ("_tracer", "_span", "_vt", "_wall0")
+
+    def __init__(self, tracer: "Tracer", name: str, vt, labels: dict):
+        self._tracer = tracer
+        self._vt = vt
+        parent = tracer._stack[-1] if tracer._stack else None
+        span = Span(
+            index=len(tracer.spans),
+            name=name,
+            labels=labels,
+            parent=parent,
+            depth=len(tracer._stack),
+        )
+        tracer.spans.append(span)
+        self._span = span
+        self._wall0 = 0.0
+
+    def __enter__(self) -> Span:
+        span = self._span
+        self._tracer._stack.append(span.index)
+        if self._vt is not None:
+            span.v0 = _vnow(self._vt)
+        self._wall0 = time.perf_counter()
+        return span
+
+    def __exit__(self, *exc) -> bool:
+        span = self._span
+        span.wall = time.perf_counter() - self._wall0
+        if self._vt is not None:
+            span.v1 = _vnow(self._vt)
+        stack = self._tracer._stack
+        if stack and stack[-1] == span.index:
+            stack.pop()
+        else:  # pragma: no cover - defensive against misnested exits
+            try:
+                stack.remove(span.index)
+            except ValueError:
+                pass
+        return False
+
+
+class Tracer:
+    """Span store + metrics registry for one run (or one process).
+
+    ``enabled`` defaults to the ``REPRO_OBS`` environment flag and is
+    fixed for the tracer's lifetime: instrumentation sites test one
+    attribute, never the environment.
+    """
+
+    __slots__ = ("enabled", "spans", "metrics", "_stack")
+
+    def __init__(self, enabled: Optional[bool] = None,
+                 max_series: int = 256):
+        self.enabled = obs_enabled() if enabled is None else bool(enabled)
+        self.spans: list[Span] = []
+        self.metrics = Metrics(max_series=max_series) if self.enabled \
+            else NULL_METRICS
+        self._stack: list[int] = []
+
+    def span(self, name: str, vt=None, **labels):
+        """Open a traced region (use as a context manager).
+
+        ``vt`` is an optional virtual-time source (``.vsec`` attribute
+        or zero-arg callable); without it the span is wall-only.  When
+        the tracer is disabled this returns the shared
+        :data:`NULL_SPAN` — the identity fast path.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanHandle(self, name, vt, labels)
+
+    def record_span(self, name: str, v0: float, v1: float,
+                    wall: float = 0.0, **labels) -> Optional[Span]:
+        """Record a completed span post-hoc (timestamps known already)."""
+        if not self.enabled:
+            return None
+        parent = self._stack[-1] if self._stack else None
+        span = Span(len(self.spans), name, labels, parent,
+                    depth=len(self._stack))
+        span.v0 = float(v0)
+        span.v1 = float(v1)
+        span.wall = float(wall)
+        self.spans.append(span)
+        return span
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        if self.enabled:
+            self.metrics.reset()
+
+
+#: Process-global tracer; lazily constructed from the env flag.
+_current: Optional[Tracer] = None
+
+
+def get_tracer() -> Tracer:
+    """The current global tracer (created on first use)."""
+    global _current
+    if _current is None:
+        _current = Tracer()
+    return _current
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install ``tracer`` globally (``None`` resets to lazy env default)."""
+    global _current
+    _current = tracer
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Temporarily install ``tracer`` as the global tracer.
+
+    The CLI's ``--trace`` flag and the test suite use this to trace one
+    run with a fresh enabled tracer regardless of ``REPRO_OBS``.
+    """
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous

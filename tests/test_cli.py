@@ -77,6 +77,41 @@ class TestCommands:
         assert main(["bound", "uniform:25:4", "--iterations", "30"]) == 0
         assert "Held-Karp lower bound" in capsys.readouterr().out
 
+    def test_solve_with_trace_then_summarize(self, tmp_path, capsys):
+        trace_file = tmp_path / "run.trace.jsonl"
+        rc = main([
+            "solve", "uniform:40:2", "--nodes", "2", "--budget", "0.5",
+            "--topology", "ring", "--trace", str(trace_file),
+        ])
+        assert rc == 0
+        assert "trace written to" in capsys.readouterr().out
+        assert trace_file.exists()
+
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "time in phase" in out
+        assert "span tree" in out
+        assert "phase.optimize" in out
+
+    def test_trace_flag_leaves_global_tracer_untouched(self, tmp_path):
+        from repro.obs import get_tracer
+
+        before = get_tracer()
+        main(["clk", "uniform:30:2", "--budget", "0.1",
+              "--trace", str(tmp_path / "clk.trace.jsonl")])
+        assert get_tracer() is before
+
+    def test_trace_compare(self, tmp_path, capsys):
+        trace_file = tmp_path / "a.jsonl"
+        main(["clk", "uniform:30:2", "--budget", "0.2",
+              "--trace", str(trace_file)])
+        capsys.readouterr()
+        rc = main(["trace", "compare", str(trace_file), str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "span totals" in out
+        assert "+0.0%" in out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

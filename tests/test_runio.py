@@ -102,6 +102,44 @@ class TestDistributedRoundTrip:
         assert back.total_op_stats() == OpStats()
         assert back.best_length == res.best_length
 
+    def test_none_fields_tolerated(self, inst, tmp_path):
+        # A writer with observability disabled (or a foreign tool) may
+        # emit these keys with explicit nulls rather than omitting them;
+        # loading must degrade to empty/zero exactly as for absent keys.
+        res = solve(inst, budget_vsec_per_node=0.2, n_nodes=2,
+                    topology="ring", rng=5)
+        path = tmp_path / "dist.json"
+        save_run(res, path)
+        doc = json.loads(path.read_text())
+        doc["network"]["gossip_log"] = None
+        doc["network"]["gossip_pushes"] = None
+        doc["network"]["broadcast_log"] = None
+        doc["network"]["delivered"] = None
+        doc["op_stats"] = None
+        doc["global_trace"] = None
+        path.write_text(json.dumps(doc))
+        back = load_run(path, inst)
+        assert back.network_stats.gossip_log == []
+        assert back.network_stats.broadcast_log == []
+        assert back.network_stats.gossip_pushes == 0
+        assert back.op_stats == {}
+        assert back.global_trace == []
+        assert back.best_length == res.best_length
+
+    def test_none_op_stats_fields_tolerated(self, inst, tmp_path):
+        from repro.localsearch import chained_lk
+
+        res = chained_lk(inst, max_kicks=3, rng=4)
+        path = tmp_path / "clk.json"
+        save_run(res, path)
+        doc = json.loads(path.read_text())
+        doc["op_stats"] = {f: None for f in doc["op_stats"]}
+        doc["trace"] = None
+        path.write_text(json.dumps(doc))
+        back = load_run(path, inst)
+        assert back.op_stats == OpStats()
+        assert back.trace == []
+
     def test_unknown_type_rejected(self, inst, tmp_path):
         with pytest.raises(TypeError, match="serialize"):
             save_run({"not": "a result"}, tmp_path / "x.json")
@@ -111,6 +149,22 @@ class TestDistributedRoundTrip:
         path.write_text('{"format": 99, "type": "clk"}')
         with pytest.raises(ValueError, match="format"):
             load_run(path, inst)
+
+
+class TestTraceIO:
+    def test_save_load_trace_round_trip(self, tmp_path):
+        from repro.analysis.runio import load_trace, save_trace
+        from repro.obs import Tracer
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", node=0):
+            pass
+        tracer.metrics.inc("engine.calls", 3, node=0)
+        path = tmp_path / "run.trace.jsonl"
+        save_trace(tracer, path)
+        back = load_trace(path)
+        assert [s.name for s in back.spans] == ["root"]
+        assert back.counters["engine.calls"][(("node", "0"),)] == 3
 
 
 class TestStats:

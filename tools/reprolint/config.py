@@ -68,12 +68,17 @@ DEFAULT_SCOPES: dict[str, RuleScope] = {
     # discrete-event simulator.  The mp backend and supervision are the
     # wall-clock domain by design, and analysis/normalization.py
     # calibrates vsec against real time — all outside this scope.
+    # src/repro/obs/ is the sanctioned exception inside the include
+    # fragments' reach (docs/OBSERVABILITY.md): spans measure wall time
+    # *about* the virtual-time code without letting it read the clock,
+    # so the tracer owns the perf_counter calls and nothing else does.
     "RPL002": RuleScope(
         include=(
             "src/repro/localsearch/",
             "src/repro/core/",
             "src/repro/distributed/simulator.py",
         ),
+        exclude=("src/repro/obs/",),
     ),
     # Operator hot-loop modules must route distance access through
     # DistView (row caches); raw instance.dist calls there bypass the
