@@ -75,17 +75,19 @@ def op_stats_table(stats_map: dict, title: str | None = None) -> str:
     ``stats_map`` maps a row label (node id, run name, ...) to an
     :class:`repro.localsearch.engine.OpStats`.  A ``total`` row is
     appended when there is more than one entry.  Counters are rendered
-    raw; ``gain`` is the summed improvement in tour-length units.
+    raw; ``gain`` is the summed improvement in tour-length units and
+    ``kickfb`` the number of structured kicks that degraded to a
+    uniform-random kick (see ``OpStats.kick_fallbacks``).
     """
     from ..localsearch.engine import OpStats
 
     headers = ["run", "calls", "scans", "flips", "undone", "swaps",
-               "wakeups", "moves", "gain"]
+               "wakeups", "moves", "gain", "kickfb"]
 
     def row(label, s):
         return [label, s.calls, s.candidate_scans, s.flips_applied,
                 s.flips_undone, s.segment_swaps, s.queue_wakeups,
-                s.moves, s.gain]
+                s.moves, s.gain, s.kick_fallbacks]
 
     rows = [row(str(k), v) for k, v in stats_map.items()]
     if len(stats_map) > 1:

@@ -96,6 +96,8 @@ def _cmd_solve(args) -> int:
             c_r=args.cr,
             target_length=target,
             backbone_support=args.backbone,
+            kick_batch_width=args.batch_width,
+            kick_batch_backend=args.batch_backend,
             rng=args.seed,
         )
     print(f"instance {inst.name} (n={inst.n})")
@@ -125,6 +127,8 @@ def _cmd_clk(args) -> int:
         result = chained_lk(
             inst, budget_vsec=args.budget, kick=args.kick,
             target_length=args.target, rng=args.seed,
+            batch_width=args.batch_width,
+            batch_backend=args.batch_backend,
         )
     print(f"instance {inst.name} (n={inst.n})")
     print(f"tour: {result.length} after {result.kicks} kicks "
@@ -232,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cr", type=int, default=256, help="c_r threshold")
     p.add_argument("--backbone", type=float, default=0.0,
                    help="backbone support fraction (0 disables)")
+    p.add_argument("--batch-width", type=int, default=1,
+                   help="best-of-N batched kicks per node (1 = serial)")
+    p.add_argument("--batch-backend", default="process",
+                   choices=("process", "inline"),
+                   help="how batched kick chains execute")
     p.add_argument("--target", type=int, default=None)
     p.add_argument("--use-best-known", action="store_true",
                    help="use the registry best-known as the target")
@@ -245,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("clk", help="sequential Chained LK (ABCC baseline)")
     p.add_argument("instance")
     p.add_argument("--budget", type=float, default=10.0)
+    p.add_argument("--batch-width", type=int, default=1,
+                   help="best-of-N batched kicks (1 = serial loop)")
+    p.add_argument("--batch-backend", default="process",
+                   choices=("process", "inline"),
+                   help="how batched kick chains execute")
     p.add_argument("--kick", default="random_walk",
                    choices=["random", "geometric", "close", "random_walk"])
     p.add_argument("--target", type=int, default=None)

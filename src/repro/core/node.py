@@ -73,6 +73,14 @@ class NodeConfig:
     #: ~25% of a node budget at bench scale (DESIGN.md §2); restarts are
     #: always charged.
     free_init: bool = False
+    #: Batched best-of-N kicks: chains per inner-CLK kick iteration.  1
+    #: (default) is the paper's serial loop, bit for bit; N > 1 runs N
+    #: independent kick chains and keeps the best, charging the node's
+    #: virtual clock for all N (wall-clock parallelism only).
+    kick_batch_width: int = 1
+    #: How batched chains execute: "process" (spawn pool; falls back to
+    #: inline inside daemonic workers) or "inline" (sequential in-process).
+    kick_batch_backend: str = "process"
 
     def with_target(self, target: Optional[int]) -> "NodeConfig":
         return replace(self, target_length=target)
@@ -99,7 +107,9 @@ class EANode:
         self.config = config
         self.rng = ensure_rng(rng)
         self.clk = ChainedLK(
-            instance, kick=config.kick, lk_config=config.lk_config, rng=self.rng
+            instance, kick=config.kick, lk_config=config.lk_config,
+            rng=self.rng, batch_width=config.kick_batch_width,
+            batch_backend=config.kick_batch_backend,
         )
         self.clock = 0.0  # virtual seconds of CPU consumed
         self.s_prev: Optional[Tour] = None
@@ -189,7 +199,8 @@ class EANode:
         tour = self.s_best.copy()
         dirty: set[int] = set()
         for _ in range(strength):
-            positions = self.clk._kick_fn(tour, self.rng)
+            positions = self.clk._kick_fn(tour, self.rng,
+                                          stats=self.clk.stats)
             dirty.update(apply_double_bridge(tour, positions))
             meter.tick(tour.n // 8 + 8)
         return tour, dirty
@@ -202,18 +213,27 @@ class EANode:
         return edges or None
 
     def _clk_call(self, tour: Tour, dirty, meter: WorkMeter) -> Tour:
-        """One 'linkern' invocation: LK pass then ``inner_kicks`` chained kicks."""
+        """One 'linkern' invocation: LK pass then ``inner_kicks`` chained kicks.
+
+        With ``kick_batch_width`` > 1 each kick iteration becomes a
+        batched best-of-N stage (the node clock is charged for all N
+        chains, so the paper's per-node CPU accounting is unchanged)."""
         with self.tracer.span("clk.call", vt=meter, node=self.node_id):
             fixed = self._backbone()
             self.clk.lk.optimize(tour, meter, dirty=dirty, fixed=fixed)
             best = tour
             target = self.config.target_length
+            batched = self.config.kick_batch_width > 1
             for _ in range(self.config.inner_kicks):
                 if meter.exhausted():
                     break
                 if target is not None and best.length <= target:
                     break
-                cand = self.clk.step(best, meter, fixed=fixed)
+                if batched:
+                    cand = self.clk.step_batch(best, meter, fixed=fixed,
+                                               target_length=target)
+                else:
+                    cand = self.clk.step(best, meter, fixed=fixed)
                 if cand.length <= best.length:
                     best = cand
         return best
@@ -328,3 +348,7 @@ class EANode:
     def stop(self, reason: str) -> None:
         """External termination (budget exhausted, simulation end)."""
         self._finish(reason)
+
+    def close(self) -> None:
+        """Release the inner solver's batch-kick pool, if any."""
+        self.clk.close()

@@ -108,21 +108,13 @@ class MPResult:
 
 
 def _instance_payload(instance: TSPInstance) -> dict:
-    if instance.edge_weight_type == "EXPLICIT":
-        return {
-            "matrix": np.asarray(instance.matrix),
-            "edge_weight_type": "EXPLICIT",
-            "name": instance.name,
-        }
-    return {
-        "coords": np.asarray(instance.coords),
-        "edge_weight_type": instance.edge_weight_type,
-        "name": instance.name,
-    }
+    # Shared with the batch-kick pool: defining data only, so workers
+    # rebuild every cache locally (see TSPInstance.to_payload).
+    return instance.to_payload()
 
 
 def _rebuild_instance(payload: dict) -> TSPInstance:
-    return TSPInstance(**payload)
+    return TSPInstance.from_payload(payload)
 
 
 def _node_worker(
@@ -144,6 +136,9 @@ def _node_worker(
         timer.daemon = True
         timer.start()
     instance = _rebuild_instance(payload)
+    # Node workers are daemonic and may not spawn children: a configured
+    # kick_batch_width > 1 runs its chains inline here (BatchKickRunner
+    # detects the daemon flag), with identical results.
     node = EANode(node_id, instance, config, rng=seed)
     my_inbox = inboxes[node_id]
     neighbors = list(neighbor_ids)

@@ -185,6 +185,8 @@ class Simulator:
         for node in nodes:
             if not node.done:  # pragma: no cover - defensive
                 node.stop("budget")
+            # Release any batch-kick pools (no-op at the default width).
+            node.close()
         return self._collect_result()
 
     def _run_step(self, node, node_deadline: float) -> None:

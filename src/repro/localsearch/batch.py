@@ -1,0 +1,275 @@
+"""Batched best-of-N kick execution for Chained LK.
+
+The CLK loop spends nearly all of its time in the kick → LK-pass chain, and
+successive chains started from the same incumbent are independent — which
+makes the stage embarrassingly parallel.  :class:`BatchKickRunner` fans N
+such chains out (each with its own :class:`numpy.random.SeedSequence`-derived
+stream), and the caller keeps the best resulting tour.
+
+Two backends share one chain implementation (:func:`run_chain`):
+
+* ``process`` — a ``concurrent.futures`` process pool with the *spawn*
+  start method.  Workers rebuild the instance from a minimal payload
+  (:meth:`TSPInstance.to_payload`), so no fork-shared caches or global RNG
+  state can leak from the parent; every acceleration structure (distance
+  matrix, neighbour lists) is reconstructed deterministically in the child.
+* ``inline`` — the same chains executed sequentially in-process.  Used on
+  machines without spare cores, inside daemonic workers (the mp backend's
+  node processes may not spawn children), as the recovery path when the
+  pool dies mid-batch, and by tests to prove the pool leaks no state
+  (pool and inline must produce identical results for identical seeds).
+
+Virtual time: each chain runs against its own :class:`WorkMeter` pre-charged
+with the parent's position, so span timestamps line up, and the caller
+ticks the parent meter by the *sum* of chain deltas — the batch is charged
+exactly what running its chains serially would cost (the paper's per-node
+CPU-second accounting does not get cheaper by using more cores).
+
+This module deliberately never imports ``time`` (RPL002): wall-clock
+speedup is the benches' business; in-process accounting stays virtual.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tsp.tour import Tour
+from ..utils.work import WorkMeter
+from .engine import OpStats
+
+__all__ = ["BATCH_BACKENDS", "BatchChainResult", "BatchKickRunner", "run_chain"]
+
+#: Recognised values for ``batch_backend`` config fields.
+BATCH_BACKENDS = ("process", "inline")
+
+
+@dataclass(frozen=True, slots=True)
+class BatchChainResult:
+    """Parent-side outcome of one kick chain."""
+
+    #: Index of the chain within its batch (ties broken by lowest index).
+    chain: int
+    #: Final tour order of the chain (city permutation).
+    order: np.ndarray
+    #: Final tour length.
+    length: int
+    #: Elementary operations the chain consumed (meter delta).
+    ops: int
+
+
+def run_chain(solver, tour: Tour, n_kicks: int, rng, meter: WorkMeter,
+              fixed=None, target=None) -> Tour:
+    """``n_kicks`` kick → LK steps from ``tour`` with chain-local acceptance.
+
+    The one chain implementation both backends execute: each step kicks the
+    chain's incumbent and re-optimizes, keeping the candidate iff it is no
+    worse.  ``rng`` is the chain's private stream; ``meter`` is the chain's
+    private work meter (budget-checked at step granularity).
+    """
+    best = tour
+    for _ in range(max(1, int(n_kicks))):
+        if meter.exhausted():
+            break
+        if target is not None and best.length <= target:
+            break
+        cand = solver.step(best, meter, fixed=fixed, rng=rng)
+        if cand.length <= best.length:
+            best = cand
+    return best
+
+
+# -- process-pool worker ------------------------------------------------------
+
+#: Per-worker solver, built once by :func:`_init_worker` (spawn context, so
+#: this global starts as None in every child and never aliases the parent's).
+_WORKER_SOLVER = None
+
+
+def _init_worker(payload: dict, kick: str, lk_config) -> None:
+    """Build the worker's private ChainedLK from the instance payload.
+
+    Runs once per worker process.  The instance is rebuilt from defining
+    data only (coords/matrix), so distance-matrix and neighbour caches are
+    fresh, child-local constructions — nothing is inherited from the
+    parent.  The solver's own rng is seeded but never drawn from: every
+    chain carries its own SeedSequence.
+    """
+    global _WORKER_SOLVER
+    from ..tsp.instance import TSPInstance
+    from .chained_lk import ChainedLK
+
+    instance = TSPInstance.from_payload(payload)
+    _WORKER_SOLVER = ChainedLK(instance, kick=kick, lk_config=lk_config, rng=0)
+
+
+def _chain_task(spec: tuple) -> tuple:
+    """Run one chain in a pool worker; returns a plain picklable tuple.
+
+    ``spec`` is ``(chain, order, length, n_kicks, seed_seq, start_ops,
+    budget_ops, fixed, target, crash)``.  ``crash`` is the fault-injection
+    hook: when set the worker dies abruptly (``os._exit``), which the
+    parent observes as :class:`BrokenProcessPool` — the supervision tests'
+    ``kill_at`` idiom at pool granularity.
+    """
+    (chain, order, length, n_kicks, seed_seq, start_ops, budget_ops,
+     fixed, target, crash) = spec
+    if crash:  # pragma: no cover - exercised via the pool, not in-process
+        os._exit(1)
+    solver = _WORKER_SOLVER
+    assert solver is not None, "pool worker used before initialization"
+    stats0 = solver.stats.copy()
+    tour = Tour(solver.instance, np.asarray(order, dtype=np.intp), int(length))
+    meter = WorkMeter(budget_ops=budget_ops)
+    meter.ops = int(start_ops)
+    best = run_chain(solver, tour, n_kicks, np.random.default_rng(seed_seq),
+                     meter, fixed=fixed, target=target)
+    delta = solver.stats - stats0
+    return (
+        int(chain),
+        np.asarray(best.order, dtype=np.int32),
+        int(best.length),
+        int(meter.ops - start_ops),
+        delta.to_json(),
+    )
+
+
+# -- parent-side runner -------------------------------------------------------
+
+
+class BatchKickRunner:
+    """Executes batches of kick chains for one :class:`ChainedLK`.
+
+    Owns the (lazily created) process pool.  A pool that breaks mid-batch
+    is dropped, the whole batch is re-run inline — chains are deterministic
+    given their seeds, so the recovery result is identical to what the pool
+    would have produced — and a fresh pool is spawned for the next batch.
+    """
+
+    def __init__(self, instance, kick: str, lk_config, width: int,
+                 backend: str = "process"):
+        if width < 1:
+            raise ValueError(f"batch width must be >= 1, got {width}")
+        if backend not in BATCH_BACKENDS:
+            raise ValueError(
+                f"unknown batch backend {backend!r}; choices: {BATCH_BACKENDS}"
+            )
+        self.instance = instance
+        self.kick = kick
+        self.lk_config = lk_config
+        self.width = int(width)
+        self.backend = backend
+        #: Batches whose pool broke and were recovered inline.
+        self.pool_failures = 0
+        #: Test hook: chain indices whose *next* pool task kills its worker.
+        self.inject_crash_chains: set[int] = set()
+        self._executor: ProcessPoolExecutor | None = None
+        self._pool_disabled = False
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    #: Broken pools tolerated before a runner stops respawning them.  One
+    #: break can be bad luck (OOM-killed worker); repeated breaks mean the
+    #: environment cannot sustain a pool (e.g. a caller without the
+    #: ``__main__`` guard the spawn start method requires) and retrying
+    #: would pay pool startup + failure on every batch.
+    MAX_POOL_FAILURES = 2
+
+    def _pool_allowed(self) -> bool:
+        if self.backend != "process" or self.width < 2:
+            return False
+        if self._pool_disabled:
+            return False
+        # Daemonic processes (the mp backend's node workers) may not spawn
+        # children; fall back to inline chains there.
+        return not mp.current_process().daemon
+
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self._executor is None and self._pool_allowed():
+            self._executor = ProcessPoolExecutor(
+                max_workers=min(self.width, os.cpu_count() or 1),
+                mp_context=mp.get_context("spawn"),
+                initializer=_init_worker,
+                initargs=(self.instance.to_payload(), self.kick,
+                          self.lk_config),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the pool (idempotent); a later batch respawns it."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- batch execution -----------------------------------------------------
+
+    def run_batch(self, solver, best: Tour, meter: WorkMeter, n_kicks: int,
+                  seeds, fixed=None, target=None) -> list[BatchChainResult]:
+        """Run one chain per seed from ``best``; returns all chain results.
+
+        ``solver`` is the parent :class:`ChainedLK` (used directly by the
+        inline path; the pool path merges worker stat deltas into it so
+        telemetry totals are backend-independent).  The parent ``meter`` is
+        *read* here (chains start from its position and share its budget)
+        but never ticked — the caller charges the summed chain ops.
+        """
+        start_ops = int(meter.ops)
+        budget_ops = meter.budget_ops
+        order32 = np.asarray(best.order, dtype=np.int32)
+        specs = [
+            (i, order32, int(best.length), int(n_kicks), seed, start_ops,
+             budget_ops, fixed, target, i in self.inject_crash_chains)
+            for i, seed in enumerate(seeds)
+        ]
+        self.inject_crash_chains = set()
+
+        executor = self._ensure_executor()
+        if executor is not None:
+            try:
+                futures = [executor.submit(_chain_task, s) for s in specs]
+                raw = [f.result() for f in futures]
+            except BrokenProcessPool:
+                # A worker died mid-batch.  Drop the pool and recompute the
+                # whole batch inline: chains are deterministic given their
+                # seeds, so recovery is result-identical, just slower.
+                self.pool_failures += 1
+                if self.pool_failures >= self.MAX_POOL_FAILURES:
+                    self._pool_disabled = True
+                self.close()
+            else:
+                results = []
+                for chain, order, length, ops, stats_json in raw:
+                    solver.stats.merge(OpStats.from_json(stats_json))
+                    results.append(BatchChainResult(
+                        chain=int(chain),
+                        order=np.asarray(order, dtype=np.intp),
+                        length=int(length),
+                        ops=int(ops),
+                    ))
+                return results
+        return self._run_inline(solver, specs)
+
+    def _run_inline(self, solver, specs) -> list[BatchChainResult]:
+        """Sequential in-process execution of a batch (the reference path)."""
+        results = []
+        for (chain, order, length, n_kicks, seed, start_ops, budget_ops,
+             fixed, target, _crash) in specs:
+            tour = Tour(solver.instance, np.asarray(order, dtype=np.intp),
+                        int(length))
+            meter = WorkMeter(budget_ops=budget_ops)
+            meter.ops = int(start_ops)
+            chain_best = run_chain(solver, tour, n_kicks,
+                                   np.random.default_rng(seed), meter,
+                                   fixed=fixed, target=target)
+            results.append(BatchChainResult(
+                chain=int(chain),
+                order=np.asarray(chain_best.order, dtype=np.intp),
+                length=int(chain_best.length),
+                ops=int(meter.ops - start_ops),
+            ))
+        return results

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+import numpy as np
 
 from ..construct.quick_boruvka import quick_boruvka
 from ..obs import get_tracer
@@ -73,13 +74,23 @@ class ChainedLK:
         lk_config: LKConfig | None = None,
         rng=None,
         polish: tuple = (),
+        batch_width: int = 1,
+        batch_backend: str = "process",
     ):
         """``polish`` names registered operators (see
         :func:`repro.localsearch.engine.get_operator`) applied to the
         final tour of :meth:`run` — e.g. ``("or_opt",)`` for an LK +
         Or-opt pipeline.  They share the LK engine's candidate set,
         meter, and stats sink; the default is no polish (the paper's
-        plain CLK)."""
+        plain CLK).
+
+        ``batch_width`` > 1 turns each kick of :meth:`run` into a batched
+        best-of-N stage (:meth:`step_batch`): N independent kick chains,
+        keep the best.  ``batch_backend`` picks how the chains execute —
+        ``"process"`` (spawn-context pool, falls back to inline where
+        pools are unavailable) or ``"inline"`` (sequential in-process).
+        Width 1 never touches the batch machinery: it *is* the serial
+        path, bit for bit."""
         self.instance = instance
         self.lk = LinKernighan(instance, lk_config)
         self.kick_name = kick
@@ -87,6 +98,20 @@ class ChainedLK:
         self.rng = ensure_rng(rng)
         self.polish = tuple(polish)
         self._polish_ops = [get_operator(name) for name in self.polish]
+        self.batch_width = int(batch_width)
+        if self.batch_width < 1:
+            raise ValueError(f"batch_width must be >= 1, got {batch_width}")
+        # Validate eagerly: the runner is built lazily on the first batched
+        # step, which would let a typo'd backend pass silently at width 1.
+        from .batch import BATCH_BACKENDS
+
+        if batch_backend not in BATCH_BACKENDS:
+            raise ValueError(
+                f"unknown batch backend {batch_backend!r}; "
+                f"choices: {BATCH_BACKENDS}"
+            )
+        self.batch_backend = batch_backend
+        self._batch_runner = None
         # Captured at construction: one attribute check per span site.
         self.tracer = get_tracer()
 
@@ -105,24 +130,88 @@ class ChainedLK:
         return tour
 
     def step(self, best: Tour, meter: WorkMeter, n_kicks: int = 1,
-             fixed: set | None = None) -> Tour:
+             fixed: set | None = None, rng=None) -> Tour:
         """One chained iteration: kick a copy of ``best`` then re-optimize.
 
         ``n_kicks`` successive double bridges are applied before the LK
         pass (the distributed algorithm's variable perturbation strength).
         ``fixed`` edges are protected from the LK pass (backbone
-        extension).  Returns the candidate tour; the caller decides
-        acceptance.
+        extension).  ``rng`` overrides the solver's stream (batched kick
+        chains each carry their own).  Returns the candidate tour; the
+        caller decides acceptance.
         """
+        if rng is None:
+            rng = self.rng
         with self.tracer.span("clk.kick", vt=meter):
             cand = best.copy()
             dirty: set[int] = set()
             for _ in range(max(1, n_kicks)):
-                positions = self._kick_fn(cand, self.rng)
+                positions = self._kick_fn(cand, rng, stats=self.lk.stats)
                 dirty.update(apply_double_bridge(cand, positions))
                 meter.tick(cand.n // 8 + 8)  # kick cost: O(n) rewiring
             self.lk.optimize(cand, meter, dirty=dirty, fixed=fixed)
         return cand
+
+    def step_batch(self, best: Tour, meter: WorkMeter, n_kicks: int = 1,
+                   fixed: set | None = None, target_length: int | None = None,
+                   width: int | None = None) -> Tour:
+        """Batched best-of-N kick stage: N chains from ``best``, keep best.
+
+        Each of ``width`` (default :attr:`batch_width`) chains runs
+        ``n_kicks`` kick → LK steps from ``best`` with its own RNG stream
+        — one root seed is drawn from the solver's stream and split into
+        per-chain :class:`numpy.random.SeedSequence` children, so results
+        depend only on the solver seed, not on scheduling.  The parent
+        meter is charged the *sum* of all chain work (identical to
+        running the chains serially); ties in length break toward the
+        lowest chain index.  Returns the winning tour; the caller decides
+        acceptance (the winner is never worse than ``best``).
+        """
+        from .batch import BatchKickRunner  # lazy: batch imports this module
+
+        if width is None:
+            width = self.batch_width
+        if width < 1:
+            raise ValueError(f"batch width must be >= 1, got {width}")
+        runner = self._batch_runner
+        if (runner is None or runner.width != width
+                or runner.backend != self.batch_backend):
+            if runner is not None:
+                runner.close()
+            runner = BatchKickRunner(self.instance, self.kick_name,
+                                     self.lk.config, width,
+                                     backend=self.batch_backend)
+            self._batch_runner = runner
+        with self.tracer.span("clk.kick_batch", vt=meter, width=width,
+                              backend=runner.backend):
+            root = int(self.rng.integers(2 ** 63 - 1))
+            seeds = np.random.SeedSequence(root).spawn(width)
+            results = runner.run_batch(self, best, meter, n_kicks, seeds,
+                                       fixed=fixed, target=target_length)
+            meter.tick(sum(r.ops for r in results))
+            chosen = min(results, key=lambda r: (r.length, r.chain))
+            if self.tracer.enabled:
+                metrics = self.tracer.metrics
+                metrics.set_gauge("kick.batch_width", width)
+                gain = best.length - chosen.length
+                if gain > 0:
+                    metrics.inc("kick.batch_best_gain", gain)
+        return Tour(self.instance, chosen.order, chosen.length)
+
+    def close(self) -> None:
+        """Release the batch runner's process pool, if one was created.
+
+        Safe to call repeatedly and on never-batched solvers; the pool
+        respawns lazily if the solver is used again."""
+        if self._batch_runner is not None:
+            self._batch_runner.close()
+            self._batch_runner = None
+
+    def __enter__(self) -> "ChainedLK":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(
         self,
@@ -173,12 +262,20 @@ class ChainedLK:
 
         kicks = 0
         improvements = 0
+        batched = self.batch_width > 1
         hit = target_length is not None and best.length <= target_length
         while not hit and not meter.exhausted():
             if max_kicks is not None and kicks >= max_kicks:
                 break
-            cand = self.step(best, meter)
-            kicks += 1
+            if batched:
+                # Best-of-N stage: counts as batch_width kicks, so a
+                # max_kicks limit may overshoot by at most width - 1.
+                cand = self.step_batch(best, meter,
+                                       target_length=target_length)
+                kicks += self.batch_width
+            else:
+                cand = self.step(best, meter)
+                kicks += 1
             if cand.length <= best.length:
                 if cand.length < best.length:
                     improvements += 1
@@ -201,6 +298,9 @@ class ChainedLK:
             # Windowed engine telemetry for this run only; the kick and
             # init spans carry the time axis, the counters the volume.
             op_stats.emit(self.tracer.metrics, run="clk")
+            if op_stats.kick_fallbacks:
+                self.tracer.metrics.inc("kick.fallbacks",
+                                        op_stats.kick_fallbacks, run="clk")
         return ChainedLKResult(
             tour=best,
             kicks=kicks,
@@ -222,11 +322,17 @@ def chained_lk(
     free_init: bool = False,
     polish: tuple = (),
     rng=None,
+    batch_width: int = 1,
+    batch_backend: str = "process",
 ) -> ChainedLKResult:
-    """One-shot convenience wrapper around :class:`ChainedLK`."""
-    solver = ChainedLK(instance, kick=kick, lk_config=lk_config, rng=rng,
-                       polish=polish)
-    return solver.run(
-        budget_vsec=budget_vsec, max_kicks=max_kicks,
-        target_length=target_length, free_init=free_init,
-    )
+    """One-shot convenience wrapper around :class:`ChainedLK`.
+
+    The solver (and any batch-kick process pool it spawned) is released
+    before returning."""
+    with ChainedLK(instance, kick=kick, lk_config=lk_config, rng=rng,
+                   polish=polish, batch_width=batch_width,
+                   batch_backend=batch_backend) as solver:
+        return solver.run(
+            budget_vsec=budget_vsec, max_kicks=max_kicks,
+            target_length=target_length, free_init=free_init,
+        )

@@ -136,6 +136,12 @@ class OpStats:
     Cheap enough to be always-on: operators accumulate in local variables
     inside hot loops and flush once per call.  Counters add across calls;
     use :meth:`copy` / subtraction to window a run (``after - before``).
+
+    ``kick_fallbacks`` counts structured kicks (geometric/close/
+    random-walk) that silently degraded to a uniform-random kick after
+    exhausting their draw attempts — a run configured as ``geometric``
+    that behaves as ``random`` on a small or clustered instance is
+    visible here rather than indistinguishable from the real strategy.
     """
 
     __slots__ = (
@@ -147,6 +153,7 @@ class OpStats:
         "queue_wakeups",
         "moves",
         "gain",
+        "kick_fallbacks",
     )
 
     FIELDS = (
@@ -158,6 +165,7 @@ class OpStats:
         "queue_wakeups",
         "moves",
         "gain",
+        "kick_fallbacks",
     )
 
     def __init__(self, **counts):

@@ -29,6 +29,7 @@ from ..utils.rng import ensure_rng
 
 __all__ = [
     "KICK_STRATEGIES",
+    "FALLBACK_TRIES",
     "random_kick",
     "geometric_kick",
     "close_kick",
@@ -38,11 +39,33 @@ __all__ = [
 ]
 
 
+#: Draw attempts a structured kick makes before degrading to random_kick.
+FALLBACK_TRIES = 16
+
+
 def _distinct_positions(tour: Tour, cities: list[int], rng) -> np.ndarray | None:
+    """Four distinct sorted cut positions from ``cities``, or ``None``.
+
+    When the cities map to more than four distinct tour positions, four
+    of them are *sampled* with ``rng`` — truncating the sorted list
+    would deterministically favour the lowest positions and bias every
+    structured kick toward the tour's origin.
+    """
     pos = sorted({int(tour.position[c]) for c in cities})
     if len(pos) < 4:
         return None
-    return np.array(pos[:4], dtype=np.intp)
+    if len(pos) > 4:
+        keep = rng.choice(len(pos), size=4, replace=False)
+        keep.sort()
+        pos = [pos[int(i)] for i in keep]
+    return np.array(pos, dtype=np.intp)
+
+
+def _fallback(tour: Tour, rng, stats) -> np.ndarray:
+    """Record a structured kick degrading to random, then do so."""
+    if stats is not None:
+        stats.kick_fallbacks += 1
+    return random_kick(tour, rng)
 
 
 def random_kick(tour: Tour, rng, **_kw) -> np.ndarray:
@@ -53,22 +76,34 @@ def random_kick(tour: Tour, rng, **_kw) -> np.ndarray:
     return pos.astype(np.intp)
 
 
-def geometric_kick(tour: Tour, rng, neighbor_k: int = 16, **_kw) -> np.ndarray:
-    """Cut near a random city: other cuts among its k nearest neighbours."""
+def geometric_kick(tour: Tour, rng, neighbor_k: int = 16, stats=None,
+                   **_kw) -> np.ndarray:
+    """Cut near a random city: other cuts among its k nearest neighbours.
+
+    Falls back to :func:`random_kick` after :data:`FALLBACK_TRIES`
+    failed draws (recorded in ``stats.kick_fallbacks`` when a stats sink
+    is given).
+    """
     rng = ensure_rng(rng)
     n = tour.n
     v = int(rng.integers(n))
     neigh = tour.instance.neighbor_lists(min(neighbor_k, n - 1))[v]
-    for _ in range(16):
+    for _ in range(FALLBACK_TRIES):
         others = rng.choice(neigh, size=min(3, len(neigh)), replace=False)
         pos = _distinct_positions(tour, [v, *map(int, others)], rng)
         if pos is not None:
             return pos
-    return random_kick(tour, rng)
+    return _fallback(tour, rng, stats)
 
 
-def close_kick(tour: Tour, rng, beta: float = 0.1, **_kw) -> np.ndarray:
-    """Applegate's Close strategy: six nearest in a beta*n random subset."""
+def close_kick(tour: Tour, rng, beta: float = 0.1, stats=None,
+               **_kw) -> np.ndarray:
+    """Applegate's Close strategy: six nearest in a beta*n random subset.
+
+    Falls back to :func:`random_kick` (recorded in
+    ``stats.kick_fallbacks``) when the subset is too small or after
+    :data:`FALLBACK_TRIES` failed draws.
+    """
     rng = ensure_rng(rng)
     n = tour.n
     v = int(rng.integers(n))
@@ -76,25 +111,29 @@ def close_kick(tour: Tour, rng, beta: float = 0.1, **_kw) -> np.ndarray:
     subset = rng.choice(n, size=min(m, n), replace=False)
     subset = subset[subset != v]
     if len(subset) < 6:
-        return random_kick(tour, rng)
+        return _fallback(tour, rng, stats)
     d = tour.instance.dist_many(v, subset)
     nearest6 = subset[np.argsort(d, kind="stable")[:6]]
-    for _ in range(16):
+    for _ in range(FALLBACK_TRIES):
         others = rng.choice(nearest6, size=3, replace=False)
         pos = _distinct_positions(tour, [v, *map(int, others)], rng)
         if pos is not None:
             return pos
-    return random_kick(tour, rng)
+    return _fallback(tour, rng, stats)
 
 
 def random_walk_kick(tour: Tour, rng, walk_length: int = 25,
-                     neighbor_k: int = 8, **_kw) -> np.ndarray:
-    """Three random walks on the neighbour graph from a random city."""
+                     neighbor_k: int = 8, stats=None, **_kw) -> np.ndarray:
+    """Three random walks on the neighbour graph from a random city.
+
+    Falls back to :func:`random_kick` after :data:`FALLBACK_TRIES`
+    failed draws (recorded in ``stats.kick_fallbacks``).
+    """
     rng = ensure_rng(rng)
     n = tour.n
     neigh = tour.instance.neighbor_lists(min(neighbor_k, n - 1))
     v = int(rng.integers(n))
-    for _ in range(16):
+    for _ in range(FALLBACK_TRIES):
         cities = [v]
         for _walk in range(3):
             cur = v
@@ -104,7 +143,7 @@ def random_walk_kick(tour: Tour, rng, walk_length: int = 25,
         pos = _distinct_positions(tour, cities, rng)
         if pos is not None:
             return pos
-    return random_kick(tour, rng)
+    return _fallback(tour, rng, stats)
 
 
 KICK_STRATEGIES: dict[str, Callable] = {

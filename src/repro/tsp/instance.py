@@ -149,6 +149,35 @@ class TSPInstance:
             self._matrix_rows = self._matrix_cache.tolist()
         return self._matrix_rows
 
+    # -- process-boundary transport -----------------------------------------
+
+    def to_payload(self) -> dict:
+        """Minimal picklable dict from which a worker process can rebuild
+        this instance (:meth:`from_payload`).
+
+        Only the defining data crosses the boundary — caches (distance
+        matrix, row lists, neighbour lists) are deliberately excluded so
+        every child rebuilds them from scratch instead of inheriting
+        possibly fork-shared state.  Used by the multiprocessing backend
+        and the batched-kick process pool.
+        """
+        if self.edge_weight_type == "EXPLICIT":
+            return {
+                "matrix": np.asarray(self.matrix),
+                "edge_weight_type": "EXPLICIT",
+                "name": self.name,
+            }
+        return {
+            "coords": np.asarray(self.coords),
+            "edge_weight_type": self.edge_weight_type,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TSPInstance":
+        """Rebuild an instance in a worker process (fresh caches)."""
+        return cls(**payload)
+
     # -- tours --------------------------------------------------------------
 
     def tour_length(self, order: np.ndarray) -> int:

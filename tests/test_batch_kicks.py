@@ -1,0 +1,233 @@
+"""Batched best-of-N kick stage: equivalence, determinism, fault tolerance.
+
+The contract under test (see docs/ALGORITHMS.md "Batched kicks"):
+
+* width 1 *is* the serial CLK loop — bit-identical tours, kick counts,
+  and virtual-time accounting under fixed seeds;
+* the process pool and the inline backend are interchangeable — identical
+  results and identical engine telemetry for identical seeds (this is the
+  worker-state regression test: any fork-shared cache or global RNG leak
+  in the pool would break it);
+* a pool that dies mid-batch degrades gracefully: the batch is re-run
+  inline with identical results and the run continues.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.localsearch import BatchKickRunner, ChainedLK, chained_lk
+from repro.localsearch.batch import run_chain
+from repro.tsp.instance import TSPInstance
+from repro.utils.work import WorkMeter
+
+
+def _run(inst, **kw):
+    return chained_lk(inst, max_kicks=12, rng=99, **kw)
+
+
+class TestWidthOneIsSerial:
+    def test_bit_identical_tour_and_accounting(self, small_instance):
+        serial = _run(small_instance)
+        batched = _run(small_instance, batch_width=1)
+        assert batched.length == serial.length
+        assert np.array_equal(batched.tour.order, serial.tour.order)
+        assert batched.kicks == serial.kicks
+        assert batched.work_vsec == serial.work_vsec
+        assert batched.trace == serial.trace
+        assert batched.op_stats == serial.op_stats
+
+    def test_width_validation(self, small_instance):
+        with pytest.raises(ValueError, match="batch_width"):
+            ChainedLK(small_instance, batch_width=0)
+        with pytest.raises(ValueError, match="backend"):
+            BatchKickRunner(small_instance, "random_walk", None, 2,
+                            backend="threads")
+
+    def test_backend_validated_eagerly(self, small_instance):
+        # The runner is built lazily on the first batched step; the solver
+        # must still reject a typo'd backend at construction, even at the
+        # default width where no batched step would ever run.
+        with pytest.raises(ValueError, match="backend"):
+            ChainedLK(small_instance, batch_backend="threads")
+
+
+class TestBatchedDeterminism:
+    def test_identical_seeded_runs_identical(self, small_instance):
+        a = _run(small_instance, batch_width=3, batch_backend="inline")
+        b = _run(small_instance, batch_width=3, batch_backend="inline")
+        assert a.length == b.length
+        assert np.array_equal(a.tour.order, b.tour.order)
+        assert a.work_vsec == b.work_vsec
+        assert a.op_stats == b.op_stats
+
+    def test_identical_seeded_pool_runs_identical(self, small_instance):
+        a = _run(small_instance, batch_width=2, batch_backend="process")
+        b = _run(small_instance, batch_width=2, batch_backend="process")
+        assert a.length == b.length
+        assert np.array_equal(a.tour.order, b.tour.order)
+        assert a.op_stats == b.op_stats
+
+    def test_pool_matches_inline(self, small_instance):
+        pool = _run(small_instance, batch_width=2, batch_backend="process")
+        inline = _run(small_instance, batch_width=2, batch_backend="inline")
+        assert pool.length == inline.length
+        assert np.array_equal(pool.tour.order, inline.tour.order)
+        assert pool.work_vsec == inline.work_vsec
+        assert pool.op_stats == inline.op_stats
+
+
+class TestStepBatchSemantics:
+    def test_never_worse_than_start_and_best_of_members(self, small_instance):
+        solver = ChainedLK(small_instance, rng=5, batch_width=4,
+                           batch_backend="inline")
+        meter = WorkMeter()
+        best = solver.initial_tour(meter)
+        # Re-run the same batch by hand to observe the members.
+        probe = ChainedLK(small_instance, rng=5, batch_width=4,
+                          batch_backend="inline")
+        probe_meter = WorkMeter()
+        probe_best = probe.initial_tour(probe_meter)
+        root = int(probe.rng.integers(2 ** 63 - 1))
+        seeds = np.random.SeedSequence(root).spawn(4)
+        members = [
+            run_chain(probe, probe_best.copy(), 1,
+                      np.random.default_rng(s), WorkMeter())
+            for s in seeds
+        ]
+        chosen = solver.step_batch(best, meter)
+        solver.close()
+        assert chosen.length <= best.length
+        assert chosen.length == min(m.length for m in members)
+
+    def test_meter_charged_sum_of_chains(self, small_instance):
+        solver = ChainedLK(small_instance, rng=5, batch_width=3,
+                           batch_backend="inline")
+        meter = WorkMeter()
+        best = solver.initial_tour(meter)
+        before = meter.ops
+        runner_results = {}
+        orig = BatchKickRunner.run_batch
+
+        def spy(self, *a, **kw):
+            results = orig(self, *a, **kw)
+            runner_results["ops"] = sum(r.ops for r in results)
+            return results
+
+        BatchKickRunner.run_batch = spy
+        try:
+            solver.step_batch(best, meter)
+        finally:
+            BatchKickRunner.run_batch = orig
+        assert meter.ops - before == runner_results["ops"] > 0
+
+    def test_kick_count_increments_by_width(self, small_instance):
+        res = _run(small_instance, batch_width=3, batch_backend="inline")
+        assert res.kicks % 3 == 0
+
+
+class TestPoolFaultTolerance:
+    def test_crash_mid_batch_recovers_with_identical_results(
+            self, small_instance):
+        crashed = ChainedLK(small_instance, rng=17, batch_width=2,
+                            batch_backend="process")
+        clean = ChainedLK(small_instance, rng=17, batch_width=2,
+                          batch_backend="inline")
+        mc, mi = WorkMeter(), WorkMeter()
+        tc = crashed.step_batch(crashed.initial_tour(mc), mc)  # spawns pool
+        ti = clean.step_batch(clean.initial_tour(mi), mi)
+        runner = crashed._batch_runner
+        assert runner.pool_failures == 0
+        runner.inject_crash_chains = {0}
+        tc = crashed.step_batch(tc, mc)
+        ti = clean.step_batch(ti, mi)
+        assert runner.pool_failures == 1
+        assert tc.length == ti.length
+        assert np.array_equal(tc.order, ti.order)
+        assert mc.ops == mi.ops
+        assert crashed.stats == clean.stats
+        # The next batch respawns a pool and keeps matching.
+        tc = crashed.step_batch(tc, mc)
+        ti = clean.step_batch(ti, mi)
+        assert runner.pool_failures == 1
+        assert tc.length == ti.length and mc.ops == mi.ops
+        crashed.close()
+        clean.close()
+
+    def test_repeated_breaks_disable_pool(self, small_instance):
+        solver = ChainedLK(small_instance, rng=17, batch_width=2,
+                           batch_backend="process")
+        meter = WorkMeter()
+        best = solver.initial_tour(meter)
+        best = solver.step_batch(best, meter)
+        runner = solver._batch_runner
+        for _ in range(runner.MAX_POOL_FAILURES):
+            runner.inject_crash_chains = {0}
+            best = solver.step_batch(best, meter)
+        assert runner.pool_failures == runner.MAX_POOL_FAILURES
+        assert not runner._pool_allowed()
+        # Further batches run inline, silently and correctly.
+        out = solver.step_batch(best, meter)
+        assert out.length <= best.length
+        assert runner._executor is None
+        solver.close()
+
+    def test_daemonic_caller_falls_back_inline(self, small_instance,
+                                               monkeypatch):
+        class FakeProc:
+            daemon = True
+
+        monkeypatch.setattr(mp, "current_process", lambda: FakeProc())
+        runner = BatchKickRunner(small_instance, "random_walk", None, 4)
+        assert runner._ensure_executor() is None
+        solver = ChainedLK(small_instance, rng=3, batch_width=4)
+        meter = WorkMeter()
+        best = solver.initial_tour(meter)
+        out = solver.step_batch(best, meter)
+        assert out.length <= best.length
+        assert solver._batch_runner._executor is None
+        solver.close()
+
+
+class TestInstancePayload:
+    def test_geometric_roundtrip_excludes_caches(self, small_instance):
+        small_instance.neighbor_lists(8)  # populate a cache to not inherit
+        payload = small_instance.to_payload()
+        assert set(payload) == {"coords", "edge_weight_type", "name"}
+        rebuilt = TSPInstance.from_payload(payload)
+        assert rebuilt.n == small_instance.n
+        assert rebuilt._matrix_cache is None or rebuilt is not small_instance
+        assert not rebuilt._neighbor_cache
+        assert np.array_equal(rebuilt.neighbor_lists(8),
+                              small_instance.neighbor_lists(8))
+
+    def test_explicit_roundtrip(self, explicit_instance):
+        payload = explicit_instance.to_payload()
+        assert set(payload) == {"matrix", "edge_weight_type", "name"}
+        rebuilt = TSPInstance.from_payload(payload)
+        assert rebuilt.tour_length(np.arange(rebuilt.n)) == \
+            explicit_instance.tour_length(np.arange(explicit_instance.n))
+
+
+class TestNodeIntegration:
+    def test_simulator_batched_runs_deterministic(self, small_instance):
+        from repro.core import solve
+
+        kw = dict(budget_vsec_per_node=0.25, n_nodes=2, topology="ring",
+                  kick_batch_width=2, kick_batch_backend="inline", rng=4)
+        a = solve(small_instance, **kw)
+        b = solve(small_instance, **kw)
+        assert a.best_length == b.best_length
+        assert np.array_equal(a.best_tour.order, b.best_tour.order)
+
+    def test_simulator_width1_unchanged_by_plumbing(self, small_instance):
+        from repro.core import solve
+
+        base = solve(small_instance, budget_vsec_per_node=0.25, n_nodes=2,
+                     topology="ring", rng=4)
+        explicit = solve(small_instance, budget_vsec_per_node=0.25,
+                         n_nodes=2, topology="ring", kick_batch_width=1,
+                         kick_batch_backend="inline", rng=4)
+        assert base.best_length == explicit.best_length
+        assert np.array_equal(base.best_tour.order, explicit.best_tour.order)

@@ -98,3 +98,84 @@ class TestApplyDoubleBridge:
         before = t.edge_set()
         apply_double_bridge(t, random_kick(t, rng))
         assert len(before - t.edge_set()) == 4
+
+
+class TestDistinctPositionSampling:
+    """_distinct_positions must *sample* with its rng, not truncate."""
+
+    def test_samples_instead_of_truncating(self, small_instance):
+        from repro.localsearch.kicks import _distinct_positions
+
+        t = random_tour(small_instance, np.random.default_rng(0))
+        cities = [int(c) for c in t.order[:10]]  # 10 distinct positions
+        all_pos = sorted(int(t.position[c]) for c in cities)
+        seen = set()
+        for seed in range(40):
+            pos = _distinct_positions(t, cities, np.random.default_rng(seed))
+            assert len(pos) == 4
+            assert list(pos) == sorted(pos)
+            assert set(int(p) for p in pos) <= set(all_pos)
+            seen.add(tuple(int(p) for p in pos))
+        # The old bug kept the four lowest positions every time; sampling
+        # must produce many different subsets across seeds.
+        assert len(seen) > 1
+        assert seen != {tuple(all_pos[:4])}
+
+    def test_deterministic_given_rng_state(self, small_instance):
+        from repro.localsearch.kicks import _distinct_positions
+
+        t = random_tour(small_instance, np.random.default_rng(0))
+        cities = [int(c) for c in t.order[:8]]
+        a = _distinct_positions(t, cities, np.random.default_rng(3))
+        b = _distinct_positions(t, cities, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_returns_none_under_four_distinct(self, small_instance, rng):
+        from repro.localsearch.kicks import _distinct_positions
+
+        t = random_tour(small_instance, np.random.default_rng(0))
+        cities = [int(t.order[0])] * 5 + [int(t.order[1]), int(t.order[2])]
+        assert _distinct_positions(t, cities, rng) is None
+
+
+class TestFallbackAccounting:
+    """Structured kicks degrading to random must be visible in OpStats."""
+
+    def test_close_kick_fallback_counted_on_tiny_instance(self):
+        from repro.localsearch.engine import OpStats
+        from repro.tsp import generators
+
+        # n=6: the close strategy's candidate subset (n-1 = 5 cities) can
+        # never supply the six nearest it needs, so it must fall back.
+        inst = generators.uniform(6, rng=1, name="tiny6")
+        t = random_tour(inst, np.random.default_rng(2))
+        stats = OpStats()
+        pos = close_kick(t, np.random.default_rng(3), stats=stats)
+        assert stats.kick_fallbacks == 1
+        assert len(pos) == 4  # the random fallback still yields a valid kick
+
+    def test_fallback_without_stats_sink_is_silent(self):
+        from repro.tsp import generators
+
+        inst = generators.uniform(6, rng=1, name="tiny6b")
+        t = random_tour(inst, np.random.default_rng(2))
+        pos = close_kick(t, np.random.default_rng(3))
+        assert len(pos) == 4
+
+    def test_no_fallback_recorded_on_normal_instance(self, small_instance):
+        from repro.localsearch.engine import OpStats
+
+        t = random_tour(small_instance, np.random.default_rng(0))
+        stats = OpStats()
+        for seed in range(10):
+            for kick in (geometric_kick, close_kick, random_walk_kick):
+                kick(t, np.random.default_rng(seed), stats=stats)
+        assert stats.kick_fallbacks == 0
+
+    def test_fallbacks_surface_in_op_stats_table(self):
+        from repro.analysis.reporting import op_stats_table
+        from repro.localsearch.engine import OpStats
+
+        table = op_stats_table({"n0": OpStats(kick_fallbacks=7)})
+        assert "kickfb" in table
+        assert "7" in table
