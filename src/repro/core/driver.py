@@ -7,7 +7,7 @@ paper's repeated-runs protocol (10 runs per configuration) and aggregates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -41,6 +41,7 @@ def solve(
     gossip_fanout: int = 3,
     kick_batch_width: int = 1,
     kick_batch_backend: str = "process",
+    kernel: str | None = None,
     rng=None,
 ) -> SimulationResult:
     """Solve a TSP instance with the distributed CLK algorithm.
@@ -53,8 +54,13 @@ def solve(
     :mod:`repro.core.backbone`).  ``kick_batch_width > 1`` turns every
     node's inner kicks into batched best-of-N stages
     (:meth:`repro.localsearch.ChainedLK.step_batch`); virtual-time
-    accounting is unchanged, only wall clock improves.
+    accounting is unchanged, only wall clock improves.  ``kernel``
+    selects the engine scan tier (``"scalar"``/``"row"``/``"vector"``)
+    on every node; all tiers are bit-identical, so results do not
+    change.  It overrides ``lk_config.kernel`` when both are given.
     """
+    if kernel is not None:
+        lk_config = replace(lk_config or LKConfig(), kernel=kernel)
     config = NodeConfig(
         kick=kick,
         c_v=c_v,

@@ -1,0 +1,703 @@
+"""Vectorized candidate-gain kernels: the engine's ``"vector"`` tier.
+
+The scan loops of 2-opt / Or-opt (and the LK depth-1 candidate sweep)
+spend nearly all their time evaluating per-candidate gain expressions.
+This module evaluates a city's whole candidate window in one NumPy batch
+over contiguous padded candidate matrices (``CandidateSet.matrix``) and
+vectorized distance gathers (``DistView.gather`` / ``gather_pairs``),
+instead of one Python iteration per candidate.
+
+Bit-identical contract
+----------------------
+The vector tier is an *implementation* of the reference operators, not a
+variant: for any tour, candidate provider, and work budget it must
+
+* select the same move sequence (first-improvement order),
+* produce the same :class:`~repro.localsearch.engine.OpStats` counters,
+* charge the :class:`~repro.utils.work.WorkMeter` identically at every
+  exhaustion checkpoint,
+
+so virtual-time accounting and every committed tour length are unchanged
+(``tests/test_kernels.py`` proves this property over randomized seeds,
+providers, and uneven row widths).  The tie-breaks that make this hold:
+
+* **Window rule** — candidate rows are distance-sorted (ties by city
+  index), so the reference early break ``d(u, v) >= bound -> stop``
+  delimits a *prefix* of the row.  The kernels recover that prefix with
+  ``bisect_left`` on the precomputed candidate-distance row; candidates
+  at or beyond the break distance are never evaluated, exactly like the
+  reference.
+* **First improving index** — within a window the kernels take the
+  lowest candidate index whose gain is strictly negative, which is the
+  candidate the reference loop would have accepted first.  2-opt scans
+  the forward direction before the backward one; Or-opt prefers the
+  forward segment orientation at the hit index; LK keeps the reference's
+  full tuple sort ``(score, d(u,v), d(v,w), v, w)`` built from the same
+  Python ints/floats, so ordering (including ties) is unchanged.
+* **Scan accounting** — a scan that stops at the break distance charges
+  ``window + 1`` candidate scans (the reference looks at the breaking
+  candidate), one that accepts a move at index ``j`` charges ``j + 1``,
+  and a full scan charges the row width; meter ticks follow the same
+  rule, plus the reference's per-move charges.
+* **Scalar prefix / small-window hybrid** — per-scan NumPy dispatch
+  costs a few microseconds, and profiling first-improvement 2-opt
+  descent shows it is *hit-dominated* in every regime (kicked,
+  polished, restarted; uniform, clustered, drilling, PCB): improving
+  moves cluster at the head of the distance-sorted row, and wide
+  windows occur mostly on bad tours whose hits are shallow anyway.  So
+  2-opt runs the reference row loop outright on windows below
+  :data:`SMALL_WINDOW` (gated by one precomputed per-city threshold
+  distance), scans the first :data:`PREFIX` candidates of wide windows
+  scalar, and vectorizes only the miss-heavy tail; Or-opt (full-row
+  scans, no distance break) vectorizes rows at least :data:`OR_MIN_WIDTH`
+  wide, and the LK sweep windows at least :data:`LK_MIN_WINDOW`.  These
+  are pure wall-clock decisions: every branch implements the same
+  selection rule, and the parity tests pin all four constants to 0 to
+  force every scan through the vector math.
+
+All gain arithmetic is int64 (gathers return int64; candidate-distance
+matrices are built int64), so coordinates near INT32_MAX cannot overflow
+the vectorized path even though candidate *indices* stay int32.
+
+RPL003 note: this module is inside the reprolint RPL003 scope (operator
+hot loops must not bypass ``DistView``) with a documented allowance for
+direct distance-matrix *array* indexing — batch gathers over
+``view.matrix`` are this tier's whole purpose; scalar
+``instance.dist()`` bypasses remain banned here like in every operator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import numpy as np
+
+from ..utils.sanitize import check_tour, sanitize_enabled
+from .engine import DontLookQueue
+from .or_opt import _do_relocate
+
+__all__ = [
+    "SMALL_WINDOW",
+    "PREFIX",
+    "OR_MIN_WIDTH",
+    "LK_MIN_WINDOW",
+    "CandidateKernel",
+    "two_opt_vector",
+    "or_opt_vector",
+    "lk_sweep",
+]
+
+#: 2-opt scans with windows strictly below this run the reference row
+#: loop outright (NumPy dispatch overhead beats the win on tiny windows,
+#: and first-improvement hits cluster at the head of the distance-sorted
+#: row).  The parity tests set it to 0 to force every scan through the
+#: vector math.
+SMALL_WINDOW = 32
+
+#: Wide 2-opt scans still check this many leading candidates in the
+#: reference row loop before batching the tail: a hit there costs well
+#: under one NumPy dispatch.
+PREFIX = 16
+
+#: Or-opt vectorizes rows at least this wide (its scans have no distance
+#: break, so a miss costs the full row scalar — batching pays off at
+#: narrower widths than 2-opt's windowed scans).
+OR_MIN_WIDTH = 12
+
+#: The LK depth-1 sweep vectorizes gain windows at least this wide (the
+#: sweep always evaluates its whole window — no first-improvement exit —
+#: so the threshold is about dispatch overhead only).
+LK_MIN_WINDOW = 12
+
+#: Sentinel for padded candidate-distance slots (never inside a window:
+#: windows are bounded by each row's valid length).
+_PAD_DIST = np.int64(2) ** 62
+
+
+def _candidate_distances(instance, provider, view):
+    """``(cd, cd_lists, valid)`` for one (instance, provider) pair, cached.
+
+    ``cd`` is the ``(n, kmax)`` int64 candidate-distance matrix aligned
+    with ``provider.matrix(instance)``; ``cd_lists`` its per-row Python
+    lists trimmed to each row's valid length (the ``bisect`` form); and
+    ``valid`` the per-row valid counts.  Values are bit-identical to
+    what the reference loops read from the row caches / closure, because
+    both come from the same rounding pipeline.
+    """
+    key = ("cand-dist",) + provider.cache_key()
+    cached = instance._neighbor_cache.get(key)
+    if cached is None:
+        cmat, mask = provider.matrix(instance)
+        n, kmax = cmat.shape
+        if kmax == 0:
+            cd = np.zeros((n, 0), dtype=np.int64)
+        elif view.matrix is not None:
+            cd = view.matrix[np.arange(n)[:, None], cmat].astype(
+                np.int64, copy=True
+            )
+        else:
+            cd = np.empty((n, kmax), dtype=np.int64)
+            for i in range(n):
+                cd[i] = view.gather(i, cmat[i])
+        cd[~mask] = _PAD_DIST
+        cd.setflags(write=False)
+        valid = mask.sum(axis=1).tolist()
+        cd_lists = [cd[i, : valid[i]].tolist() for i in range(n)]
+        cached = (cd, cd_lists, valid)
+        instance._neighbor_cache[key] = cached
+    return cached
+
+
+def _small_window_thresholds(instance, provider, small, cd_lists, valid):
+    """Per-city distance threshold for the small-window gate, cached.
+
+    ``d_ab <= thr[i]`` iff city ``i``'s scan window (candidates with
+    ``d < d_ab``) has fewer than ``small`` entries — rows shorter than
+    ``small`` always pass (threshold +inf), and ``small == 0`` never
+    passes (threshold -1).  Plain Python ints so the hot-path compare is
+    a single int comparison.
+    """
+    key = ("cand-thr", small) + provider.cache_key()
+    thr = instance._neighbor_cache.get(key)
+    if thr is None:
+        if small:
+            huge = int(_PAD_DIST)
+            thr = [
+                cd_lists[i][small - 1] if valid[i] >= small else huge
+                for i in range(instance.n)
+            ]
+        else:
+            thr = [-1] * instance.n
+        instance._neighbor_cache[key] = thr
+    return thr
+
+
+class CandidateKernel:
+    """Contiguous candidate arrays bound to one (instance, provider, view).
+
+    Bundles everything a vectorized sweep needs so per-scan code touches
+    no caches: the padded int32 candidate matrix, the aligned int64
+    candidate-distance matrix (array + bisectable row lists + valid
+    counts), the plain row lists for the scalar-prefix hybrid, and the
+    distance view for gathers.  When the view carries a dense matrix,
+    ``mat_flat`` / ``cmn`` additionally precompute the flattened-matrix
+    gather (``mat_flat[cmn[i, j] + col]`` is ``d(cand, col)``): one 1-D
+    fancy index instead of a 2-D one, which roughly halves the per-scan
+    NumPy dispatch cost.
+    """
+
+    __slots__ = (
+        "cmat", "cd", "cd_lists", "valid", "rows_lists", "view",
+        "mat_flat", "cmn",
+    )
+
+    def __init__(self, instance, provider, view):
+        self.cmat, _mask = provider.matrix(instance)
+        self.cd, self.cd_lists, self.valid = _candidate_distances(
+            instance, provider, view
+        )
+        self.rows_lists = provider.row_lists(instance)
+        self.view = view
+        mat = view.matrix
+        if mat is not None:
+            key = ("cand-flat",) + provider.cache_key()
+            cached = instance._neighbor_cache.get(key)
+            if cached is None:
+                cached = self.cmat.astype(np.intp) * instance.n
+                cached.setflags(write=False)
+                instance._neighbor_cache[key] = cached
+            self.mat_flat = mat.reshape(-1)
+            self.cmn = cached
+        else:
+            self.mat_flat = None
+            self.cmn = None
+
+
+def two_opt_vector(tour, provider, view, meter, stats) -> int:
+    """Vectorized 2-opt: same contract as ``two_opt``'s reference loops.
+
+    Per popped city and direction, the candidate window (prefix with
+    ``d(a, c) < d(a, b)``) is located by bisect, the first ``PREFIX``
+    candidates run through the reference row loop, and the rest of the
+    window's gain ``d(a,c) + d(b,d) - d(a,b) - d(c,d)`` is evaluated in
+    one int64 batch; the first strictly-improving index is applied
+    exactly as the reference would.  Candidate tour positions are shared
+    between the forward and backward scans of one round (they only
+    change when a move lands, which restarts the round anyway).
+    """
+    inst = tour.instance
+    n = tour.n
+    kc = CandidateKernel(inst, provider, view)
+    cmat, cd_arr = kc.cmat, kc.cd
+    cd_lists, valid = kc.cd_lists, kc.valid
+    nbr_rows = kc.rows_lists
+    rows = view.rows
+    mat = view.matrix
+    mat_flat, cmn = kc.mat_flat, kc.cmn
+    dist = view.dist
+    small = SMALL_WINDOW if rows is not None else 0
+    prefix = PREFIX if rows is not None else 0
+    step_f = 1 - n  # order[cpos + step_f] == successor: cpos + 1 - n is
+    # in [1 - n, 0], so numpy's negative indexing supplies the wraparound.
+
+    # Per-city small-window threshold: a scan with ``d_ab <= thr[a]`` has
+    # a window strictly below SMALL_WINDOW (or a row shorter than it), so
+    # the gate on the hot path is one int compare.  thr = -1 disables the
+    # small branch (distances are non-negative).
+    thr = _small_window_thresholds(inst, provider, small, cd_lists, valid)
+
+    queue = DontLookQueue(n)
+    queue.fill(range(n))
+    total = 0
+    scanned = 0
+    moves = 0
+    swaps = 0
+
+    # reverse_segment mutates order/position in place, so the locals stay
+    # aliases of the live arrays across moves.
+    order, position = tour.order, tour.position
+    pos_item, order_item = position.item, order.item
+    push = queue.push
+
+    while queue and not meter.exhausted():
+        a = queue.pop()
+        nbr_a = nbr_rows[a]
+        da = rows[a] if rows is not None else None
+        thr_a = thr[a]
+        nv = -1  # sentinel: wide-path row state bound on first wide scan
+        cpos_full = None  # candidate positions; valid until the next move
+        improved_here = True
+        while improved_here and not meter.exhausted():
+            improved_here = False
+            for b, forward in (
+                (tour.next(a), True), (tour.prev(a), False)
+            ):
+                d_ab = da[b] if da is not None else dist(a, b)
+                if d_ab <= thr_a:
+                    # Window below SMALL_WINDOW (one list compare proves
+                    # it — no bisect): run the reference row loop
+                    # outright; its distance break recovers the window.
+                    db = rows[b]
+                    cnt = 0
+                    for c in nbr_a:
+                        cnt += 1
+                        d_ac = da[c]
+                        if d_ac >= d_ab:
+                            break
+                        if c == b:
+                            continue
+                        if forward:
+                            p = pos_item(c) + 1
+                            d_city = order_item(p if p < n else 0)
+                        else:
+                            d_city = order_item(pos_item(c) - 1)
+                        if d_city == a:
+                            continue
+                        delta = (
+                            d_ac + db[d_city] - d_ab - rows[c][d_city]
+                        )
+                        if delta < 0:
+                            if forward:
+                                moved = tour.reverse_segment(
+                                    position[b], position[c]
+                                )
+                            else:
+                                moved = tour.reverse_segment(
+                                    position[a], position[d_city]
+                                )
+                            meter.tick(moved if moved else 1)
+                            swaps += moved
+                            moves += 1
+                            tour.length += delta
+                            total -= delta
+                            for city in (a, b, c, d_city):
+                                push(int(city))
+                            improved_here = True
+                            cpos_full = None
+                            break
+                    meter.tick(cnt)
+                    scanned += cnt
+                    if improved_here:
+                        break
+                    continue
+                # Wide window: locate it exactly (when ``small`` gates,
+                # it has at least ``small`` entries, so bisect starts
+                # there).
+                if nv < 0:
+                    cd_a = cd_lists[a]
+                    nv = valid[a]
+                    cm_row = cmat[a]
+                    cda_row = cd_arr[a]
+                    cmn_row = cmn[a] if cmn is not None else None
+                win = bisect_left(cd_a, d_ab, small)
+                if win == 0:
+                    # The reference looks at (and charges) the breaking
+                    # candidate; nothing to evaluate.
+                    cnt = 1 if nv else 0
+                    meter.tick(cnt)
+                    scanned += cnt
+                    continue
+                cnt = 0
+                pref = win if win < small else prefix
+                if pref > win:
+                    pref = win
+                if pref:
+                    # Reference row loop over the window head (c == b
+                    # cannot occur inside the window: d(a, b) bounds it).
+                    db = rows[b]
+                    for idx in range(pref):
+                        c = nbr_a[idx]
+                        if forward:
+                            p = pos_item(c) + 1
+                            d_city = order_item(p if p < n else 0)
+                        else:
+                            d_city = order_item(pos_item(c) - 1)
+                        if d_city == a:
+                            continue
+                        delta = (
+                            da[c] + db[d_city] - d_ab - rows[c][d_city]
+                        )
+                        if delta < 0:
+                            if forward:
+                                moved = tour.reverse_segment(
+                                    position[b], position[c]
+                                )
+                            else:
+                                moved = tour.reverse_segment(
+                                    position[a], position[d_city]
+                                )
+                            meter.tick(moved if moved else 1)
+                            swaps += moved
+                            moves += 1
+                            tour.length += delta
+                            total -= delta
+                            for city in (a, b, c, d_city):
+                                push(int(city))
+                            improved_here = True
+                            cpos_full = None
+                            cnt = idx + 1
+                            break
+                if not improved_here and win > pref:
+                    if cpos_full is None:
+                        cpos_full = position[cm_row]
+                    cpos = cpos_full[pref:win]
+                    if forward:
+                        d_city = order[cpos + step_f]
+                    else:
+                        d_city = order[cpos - 1]
+                    if mat is not None:
+                        part = cda_row[pref:win] + mat[b][d_city]
+                        part -= mat_flat[cmn_row[pref:win] + d_city]
+                    else:
+                        part = cda_row[pref:win] + view.gather(b, d_city)
+                        part -= view.gather_pairs(
+                            cm_row[pref:win], d_city
+                        )
+                    # A d_city == a entry has part exactly d_ab on a
+                    # symmetric instance, so the strict < cannot pick it
+                    # — no identity mask needed.
+                    if part.min() < d_ab:
+                        jt = int(np.nonzero(part < d_ab)[0][0])
+                        j = pref + jt
+                        c = int(cm_row[j])
+                        d_j = int(d_city[jt])
+                        delta = int(part[jt]) - d_ab
+                        if forward:
+                            moved = tour.reverse_segment(
+                                position[b], position[c]
+                            )
+                        else:
+                            moved = tour.reverse_segment(
+                                position[a], position[d_j]
+                            )
+                        meter.tick(moved if moved else 1)
+                        swaps += moved
+                        moves += 1
+                        tour.length += delta
+                        total -= delta
+                        for city in (a, b, c, d_j):
+                            push(int(city))
+                        improved_here = True
+                        cpos_full = None
+                        cnt = j + 1
+                if not improved_here:
+                    cnt = win + 1 if win < nv else nv
+                meter.tick(cnt)
+                scanned += cnt
+                if improved_here:
+                    break
+    stats.calls += 1
+    stats.candidate_scans += scanned
+    stats.moves += moves
+    stats.segment_swaps += swaps
+    stats.queue_wakeups += queue.wakeups
+    stats.gain += total
+    if sanitize_enabled():
+        check_tour(tour, "two_opt")
+    return total
+
+
+def or_opt_vector(tour, provider, view, meter, stats, max_seg: int = 3) -> int:
+    """Vectorized Or-opt: same contract as ``or_opt``'s reference loops.
+
+    Or-opt scans full candidate rows (no distance break), so the batch
+    covers the whole valid row: both orientations' relocation gains are
+    evaluated at once, the first index improving in either orientation
+    wins, and the forward orientation is preferred at that index exactly
+    like the reference.  The candidate positions / successors / base
+    gathers and the exclusion mask are computed once per popped city and
+    shared by all segment lengths (the tour only changes when a move
+    lands, which ends the pop); the mask is extended incrementally as
+    the segment grows.
+    """
+    inst = tour.instance
+    n = tour.n
+    if max_seg >= n - 2:
+        raise ValueError("segment length too large for instance size")
+    kc = CandidateKernel(inst, provider, view)
+    cmat, cd_arr = kc.cmat, kc.cd
+    valid = kc.valid
+    nbr_rows = kc.rows_lists
+    rows = view.rows
+    mat = view.matrix
+    mat_flat, cmn = kc.mat_flat, kc.cmn
+    dist = view.dist
+    min_w = OR_MIN_WIDTH if rows is not None else 0
+    step_f = 1 - n  # successor via negative indexing, as in two_opt
+
+    queue = DontLookQueue(n)
+    queue.fill(range(n))
+    push = queue.push
+    total = 0
+    scanned = 0
+    moves = 0
+    swaps = 0
+
+    while queue and not meter.exhausted():
+        s0 = queue.pop()
+        # A successful move always breaks back to the pop loop, so the
+        # tour (and these locals) are stable across segment lengths.
+        order, position = tour.order, tour.position
+        pos_item, order_item = position.item, order.item
+        p0 = pos_item(s0)
+        nv = valid[s0]
+        before = order_item(p0 - 1 if p0 else n - 1)
+        seg = [s0]
+        moved = False
+        use_vec = nv >= min_w and nv > 0
+        if use_vec:
+            # Per-pop cache: everything that depends only on s0 and the
+            # (stable-within-pop) tour.
+            carr = cmat[s0, :nv]
+            cpos = position[carr]
+            cn = order[cpos + step_f]
+            if mat is not None:
+                d_c_cn = mat_flat[cmn[s0, :nv] + cn]
+                d_cn_s0 = mat[s0][cn]
+            else:
+                d_c_cn = view.gather_pairs(carr, cn)
+                d_cn_s0 = view.gather(s0, cn)
+            d_c_s0 = cd_arr[s0, :nv]
+            # Exclusion mask (candidate rows never contain s0 itself):
+            # the reference skips c == before, c in seg, cn in seg.
+            ok = carr != before
+            ok &= cn != s0
+        for seg_len in range(1, max_seg + 1):
+            if seg_len > 1:
+                new_s = order_item((p0 + seg_len - 1) % n)
+                seg.append(new_s)
+                if use_vec:
+                    ok &= carr != new_s
+                    ok &= cn != new_s
+            last = seg[-1]
+            after = order_item((p0 + seg_len) % n)
+            if before in seg or after in seg:
+                continue
+            if rows is not None:
+                rb = rows[before]
+                removed = rb[s0] + rows[last][after] - rb[after]
+            else:
+                removed = (
+                    dist(before, s0) + dist(last, after)
+                    - dist(before, after)
+                )
+            cnt = 0
+            if not use_vec:
+                # Reference row loop (full row, no distance break).
+                row_s0 = nbr_rows[s0]
+                for c in row_s0:
+                    cnt += 1
+                    if c in seg or c == before:
+                        continue
+                    p = pos_item(c) + 1
+                    cnext = order_item(p if p < n else 0)
+                    if cnext in seg:
+                        continue
+                    dc = rows[c]
+                    d_cn = rows[cnext]
+                    base = dc[cnext] + removed
+                    delta = dc[s0] + d_cn[last] - base
+                    if delta >= 0:
+                        delta = dc[last] + d_cn[s0] - base
+                        if delta >= 0:
+                            continue
+                        seg.reverse()
+                    _do_relocate(tour, seg, c)
+                    meter.tick(n // 4 + 1)
+                    swaps += len(seg)
+                    moves += 1
+                    tour.length += delta
+                    total -= delta
+                    for city in (before, after, c, cnext, *seg):
+                        push(int(city))
+                    moved = True
+                    break
+            else:
+                if seg_len == 1:
+                    # A one-city segment reads the same both ways; the
+                    # reference tries forward first and never reverses.
+                    delta_f = d_c_s0 + d_cn_s0
+                    delta_f -= d_c_cn
+                    delta_f -= removed
+                    delta_r = None
+                    gate = delta_f.min() < 0
+                else:
+                    if mat is not None:
+                        mat_last = mat[last]
+                        d_cn_last = mat_last[cn]
+                        d_c_last = mat_last[carr]
+                    else:
+                        d_cn_last = view.gather(last, cn)
+                        d_c_last = view.gather(last, carr)
+                    delta_f = d_c_s0 + d_cn_last
+                    delta_f -= d_c_cn
+                    delta_f -= removed
+                    delta_r = d_c_last + d_cn_s0
+                    delta_r -= d_c_cn
+                    delta_r -= removed
+                    gate = delta_f.min() < 0 or delta_r.min() < 0
+                hits = None
+                if gate:
+                    # Unmasked entries can go negative (c or cn inside
+                    # the segment); apply the exclusion mask only on
+                    # this rare branch.
+                    if delta_r is None:
+                        imp = ok & (delta_f < 0)
+                    else:
+                        imp = ok & ((delta_f < 0) | (delta_r < 0))
+                    hits = np.nonzero(imp)[0]
+                if hits is not None and hits.size:
+                    j = int(hits[0])
+                    c = int(carr[j])
+                    cnj = int(cn[j])
+                    if delta_f[j] < 0:
+                        delta = int(delta_f[j])
+                    else:
+                        delta = int(delta_r[j])
+                        seg.reverse()
+                    _do_relocate(tour, seg, c)
+                    meter.tick(n // 4 + 1)
+                    swaps += len(seg)
+                    moves += 1
+                    tour.length += delta
+                    total -= delta
+                    for city in (before, after, c, cnj, *seg):
+                        push(int(city))
+                    moved = True
+                    cnt = j + 1
+                else:
+                    cnt = nv
+            meter.tick(cnt)
+            scanned += cnt
+            if moved:
+                break
+    stats.calls += 1
+    stats.candidate_scans += scanned
+    stats.moves += moves
+    stats.segment_swaps += swaps
+    stats.queue_wakeups += queue.wakeups
+    stats.gain += total
+    if sanitize_enabled():
+        check_tour(tour, "or_opt")
+    return total
+
+
+def lk_sweep(kc, tour, t1, u, g_open, removed, added, breadth, fixed=None):
+    """Vectorized LK depth-1 candidate sweep; returns ``(out, scanned)``.
+
+    Batch-computes the candidate window's tour neighbours ``w`` and
+    ``d(v, w)`` gathers, then applies the reference's edge-validity
+    filters scalar-side (set membership does not vectorize) and builds
+    the exact reference tuples ``(g_open - d(u,v) + d(v,w), d(u,v),
+    d(v,w), v, w)`` from Python ints, so the best-first sort — ties
+    included — is unchanged.  The caller owns the meter/stats charges
+    (``scanned`` follows the window rule).
+    """
+    cd_u = kc.cd_lists[u]
+    nv = len(cd_u)
+    win = bisect_left(cd_u, g_open)
+    scanned = win + 1 if win < nv else nv
+    if win == 0:
+        return [], scanned
+    forward = tour.next(t1) == u
+    order = tour.order
+    position = tour.position
+    n = tour.n
+    out = []
+    if win < LK_MIN_WINDOW:
+        # Reference scan over the window (duv < g_open throughout it).
+        view = kc.view
+        rows = view.rows
+        row_u = kc.rows_lists[u]
+        pos_item, order_item = position.item, order.item
+        for idx in range(win):
+            v = row_u[idx]
+            if v == t1 or v == u:
+                continue
+            if (u, v) in removed:
+                continue
+            if forward:
+                w = order_item(pos_item(v) - 1)
+            else:
+                p = pos_item(v) + 1
+                w = order_item(p if p < n else 0)
+            if w == t1 or w == u:
+                continue
+            if (v, w) in added or (v, w) in removed:
+                continue
+            if fixed is not None and (v, w) in fixed:
+                continue
+            duv = cd_u[idx]
+            dvw = rows[v][w] if rows is not None else view.dist(v, w)
+            out.append((g_open - duv + dvw, duv, dvw, v, w))
+    else:
+        carr = kc.cmat[u, :win]
+        cpos = position[carr]
+        if forward:
+            w_arr = order[cpos - 1]
+        else:
+            w_arr = order[cpos + (1 - n)]
+        if kc.mat_flat is not None:
+            dvw_arr = kc.mat_flat[kc.cmn[u, :win] + w_arr]
+        else:
+            dvw_arr = kc.view.gather_pairs(carr, w_arr)
+        vs = carr.tolist()
+        ws = w_arr.tolist()
+        dvws = dvw_arr.tolist()
+        for idx in range(win):
+            v = vs[idx]
+            if v == t1 or v == u:
+                continue
+            if (u, v) in removed:
+                continue
+            w = ws[idx]
+            if w == t1 or w == u:
+                continue
+            if (v, w) in added or (v, w) in removed:
+                continue
+            if fixed is not None and (v, w) in fixed:
+                continue
+            duv = cd_u[idx]
+            out.append((g_open - duv + dvws[idx], duv, dvws[idx], v, w))
+    out.sort(reverse=True)
+    return out[:breadth], scanned

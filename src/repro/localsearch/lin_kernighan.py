@@ -34,7 +34,14 @@ from ..tsp import candidates as _cands
 from ..tsp.tour import Tour
 from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import WorkMeter
-from .engine import DistView, DontLookQueue, OpStats, register_operator
+from .engine import (
+    KERNELS,
+    DistView,
+    DontLookQueue,
+    OpStats,
+    register_operator,
+    resolve_kernel,
+)
 
 __all__ = ["LKConfig", "LinKernighan", "lin_kernighan"]
 
@@ -55,6 +62,11 @@ class LKConfig:
     #: Candidate-set provider name (see
     #: :func:`repro.tsp.candidates.candidate_set_names`).
     candidate_set: str = "knn"
+    #: Scan-kernel tier (``"scalar"``/``"row"``/``"vector"``); ``None``
+    #: defers to the ``REPRO_KERNEL`` environment default.  All tiers
+    #: select bit-identical move sequences (see
+    #: :mod:`repro.localsearch.kernels`).
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.neighbor_k < 1:
@@ -69,6 +81,10 @@ class LKConfig:
             raise ValueError(
                 f"unknown candidate set {self.candidate_set!r}; "
                 f"known: {_cands.candidate_set_names()}"
+            )
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; known: {KERNELS}"
             )
 
     def breadth_at(self, level: int) -> int:
@@ -99,7 +115,8 @@ class LinKernighan:
     """
 
     def __init__(self, instance, config: LKConfig | None = None,
-                 candidates=None):
+                 candidates=None, view: DistView | None = None,
+                 kernel: str | None = None):
         self.instance = instance
         self.config = config or LKConfig()
         if candidates is None:
@@ -113,8 +130,23 @@ class LinKernighan:
         # indexing by ~3x; the view falls back to the instance closure
         # when the dense matrix would not fit.  Rows are cached on the
         # instance, so the nodes of a distributed run share one copy.
-        self.view = DistView(instance)
+        self.view = view if view is not None else DistView(instance)
         self._dist_rows = self.view.rows
+        # Kernel tier for the candidate sweep: explicit arg wins over the
+        # config knob, which wins over the REPRO_KERNEL env default.
+        self.kernel = resolve_kernel(
+            kernel if kernel is not None else self.config.kernel
+        )
+        self._scan_rows = None if self.kernel == "scalar" else self.view.rows
+        self._kc = None
+        self._sweep = None
+        if self.kernel == "vector":
+            from . import kernels as _kernels
+
+            self._kc = _kernels.CandidateKernel(
+                instance, self.candidates, self.view
+            )
+            self._sweep = _kernels.lk_sweep
 
     # -- candidate-list access -----------------------------------------------
 
@@ -132,6 +164,12 @@ class LinKernighan:
         self.candidates = provider
         self._neighbors = provider.lists(self.instance)
         self._neighbor_rows = provider.row_lists(self.instance)
+        if self._kc is not None:
+            from . import kernels as _kernels
+
+            self._kc = _kernels.CandidateKernel(
+                self.instance, provider, self.view
+            )
 
     # -- public API ---------------------------------------------------------
 
@@ -233,7 +271,15 @@ class LinKernighan:
         Yields at most ``breadth`` pairs ordered by the lookahead score
         ``g_open - d(u, v) + d(v, w)``.
         """
-        rows = self.view.rows
+        if self._kc is not None:
+            out, scanned = self._sweep(
+                self._kc, tour, t1, u, g_open, removed, added, breadth,
+                fixed,
+            )
+            meter.tick(scanned)
+            self.stats.candidate_scans += scanned
+            return out
+        rows = self._scan_rows
         du = rows[u] if rows is not None else None
         dist = None if du is not None else self.view.dist
         forward = tour.next(t1) == u
@@ -346,6 +392,8 @@ def lin_kernighan(
     fixed: Optional[set] = None,
     candidates=None,
     stats: OpStats | None = None,
+    view: DistView | None = None,
+    kernel: str | None = None,
 ) -> int:
     """One-shot convenience wrapper around :class:`LinKernighan`.
 
@@ -353,9 +401,14 @@ def lin_kernighan(
     tours of the same instance (neighbour lists are reused).  ``fixed``
     protects directed edge pairs exactly as in
     :meth:`LinKernighan.optimize`; ``stats``, when given, receives the
-    call's :class:`~repro.localsearch.engine.OpStats`.
+    call's :class:`~repro.localsearch.engine.OpStats`; ``view`` /
+    ``kernel`` select the distance access and scan tier as in
+    :func:`repro.localsearch.two_opt.two_opt`.
     """
-    engine = LinKernighan(tour.instance, config, candidates=candidates)
+    engine = LinKernighan(
+        tour.instance, config, candidates=candidates, view=view,
+        kernel=kernel,
+    )
     gain = engine.optimize(tour, meter, dirty, fixed=fixed)
     if stats is not None:
         stats.merge(engine.stats)

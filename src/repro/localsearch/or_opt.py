@@ -16,7 +16,13 @@ from ..tsp.candidates import KNNCandidates, as_candidate_set
 from ..tsp.tour import Tour
 from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import WorkMeter
-from .engine import DistView, DontLookQueue, OpStats, register_operator
+from .engine import (
+    DistView,
+    DontLookQueue,
+    OpStats,
+    register_operator,
+    resolve_kernel,
+)
 
 __all__ = ["or_opt"]
 
@@ -25,14 +31,16 @@ __all__ = ["or_opt"]
 def or_opt(tour: Tour, neighbor_k: int = 8, max_seg: int = 3,
            meter: WorkMeter | None = None, *, candidates=None,
            stats: OpStats | None = None,
-           view: DistView | None = None) -> int:
+           view: DistView | None = None, kernel: str | None = None) -> int:
     """Optimize ``tour`` in place with Or-opt moves; returns improvement.
 
     First-improvement over segment lengths 1..max_seg, insertion points
     drawn from the candidate lists of the segment's first city
     (``candidates`` as in :func:`repro.localsearch.two_opt.two_opt`;
-    default k-NN of width ``neighbor_k``).
+    default k-NN of width ``neighbor_k``).  ``kernel`` selects the scan
+    implementation as in :func:`~repro.localsearch.two_opt.two_opt`.
     """
+    kernel = resolve_kernel(kernel)
     inst = tour.instance
     n = tour.n
     if max_seg >= n - 2:
@@ -43,9 +51,15 @@ def or_opt(tour: Tour, neighbor_k: int = 8, max_seg: int = 3,
         as_candidate_set(candidates) if candidates is not None
         else KNNCandidates(min(neighbor_k, n - 1))
     )
-    neighbor_rows = provider.row_lists(inst)
     view = view if view is not None else DistView(inst)
-    rows = view.rows
+    if kernel == "vector":
+        from . import kernels
+
+        return kernels.or_opt_vector(
+            tour, provider, view, meter, stats, max_seg=max_seg
+        )
+    neighbor_rows = provider.row_lists(inst)
+    rows = view.rows if kernel != "scalar" else None
     dist = view.dist
 
     queue = DontLookQueue(n)

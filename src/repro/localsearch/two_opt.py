@@ -14,7 +14,13 @@ from ..tsp.candidates import KNNCandidates, as_candidate_set
 from ..tsp.tour import Tour
 from ..utils.sanitize import check_tour, sanitize_enabled
 from ..utils.work import WorkMeter
-from .engine import DistView, DontLookQueue, OpStats, register_operator
+from .engine import (
+    DistView,
+    DontLookQueue,
+    OpStats,
+    register_operator,
+    resolve_kernel,
+)
 
 __all__ = ["two_opt"]
 
@@ -22,7 +28,7 @@ __all__ = ["two_opt"]
 @register_operator("two_opt")
 def two_opt(tour: Tour, neighbor_k: int = 8, meter: WorkMeter | None = None,
             *, candidates=None, stats: OpStats | None = None,
-            view: DistView | None = None) -> int:
+            view: DistView | None = None, kernel: str | None = None) -> int:
     """Optimize ``tour`` in place to 2-opt optimality over the candidates.
 
     Returns the total improvement (non-negative).  Interruptible: stops at
@@ -30,8 +36,12 @@ def two_opt(tour: Tour, neighbor_k: int = 8, meter: WorkMeter | None = None,
     :class:`~repro.tsp.candidates.CandidateSet`, registry name, or raw
     array; the default is plain k-NN of width ``neighbor_k``.  ``view``
     overrides the distance access (benchmarks use this to compare the
-    row-cached and scalar paths).
+    row-cached and scalar paths).  ``kernel`` selects the scan
+    implementation (``"scalar"``/``"row"``/``"vector"``, default via
+    :func:`~repro.localsearch.engine.resolve_kernel`); all three tiers
+    select bit-identical move sequences.
     """
+    kernel = resolve_kernel(kernel)
     inst = tour.instance
     n = tour.n
     meter = meter if meter is not None else WorkMeter()
@@ -40,9 +50,13 @@ def two_opt(tour: Tour, neighbor_k: int = 8, meter: WorkMeter | None = None,
         as_candidate_set(candidates) if candidates is not None
         else KNNCandidates(min(neighbor_k, n - 1))
     )
-    neighbor_rows = provider.row_lists(inst)
     view = view if view is not None else DistView(inst)
-    rows = view.rows
+    if kernel == "vector":
+        from . import kernels
+
+        return kernels.two_opt_vector(tour, provider, view, meter, stats)
+    neighbor_rows = provider.row_lists(inst)
+    rows = view.rows if kernel != "scalar" else None
     dist = view.dist
 
     queue = DontLookQueue(n)

@@ -224,12 +224,13 @@ class NoRawDistanceRule(Rule):
     INSTANCE_PARAMS = frozenset({"instance", "inst"})
 
     def check(self, tree, path, config):
+        matrix_ok = config.matrix_ok_for(path)
         for fn in ast.walk(tree):
             if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            yield from self._check_function(fn, path)
+            yield from self._check_function(fn, path, matrix_ok)
 
-    def _check_function(self, fn, path):
+    def _check_function(self, fn, path, matrix_ok):
         instance_names = {
             arg.arg
             for arg in list(fn.args.args) + list(fn.args.kwonlyargs)
@@ -268,11 +269,12 @@ class NoRawDistanceRule(Rule):
             elif isinstance(node, ast.Subscript) and isinstance(
                 node.value, ast.Attribute
             ):
-                if node.value.attr == "matrix":
+                if node.value.attr == "matrix" and not matrix_ok:
                     yield self.violation(
                         path, node,
                         "direct distance-matrix indexing in an operator "
-                        "hot-loop module; use DistView rows",
+                        "hot-loop module; use DistView rows (or list the "
+                        "module under [tool.reprolint] matrix-ok)",
                     )
 
 
