@@ -1,0 +1,100 @@
+"""Solver-as-a-service: multiple tenants streaming incumbents live.
+
+Starts an in-process :class:`repro.service.SolverService` (no sockets —
+see ``python -m repro serve`` for the TCP front end), registers three
+tenants with different concurrency limits and virtual-time budgets,
+submits a burst of jobs per tenant, and follows every job's incumbent
+stream concurrently while the scheduler interleaves them on one event
+loop.
+
+Each job's final tour is bit-identical to a direct
+``repro.core.solve(..., rng=seed)`` call — the service changes *when*
+work happens, never *what* is computed.  The demo checks that for one
+job at the end.
+
+Run:  python examples/service_demo.py
+"""
+
+import asyncio
+
+from repro import generators, solve
+from repro.analysis import format_table
+from repro.service import SolverService, TenantPolicy
+
+TENANTS = {
+    # name: (max concurrent jobs, vsec budget across all its jobs)
+    "alice": TenantPolicy(max_concurrency=2, vsec_budget=None),
+    "bob": TenantPolicy(max_concurrency=1, vsec_budget=None),
+    "carol": TenantPolicy(max_concurrency=2, vsec_budget=10.0),
+}
+JOBS_PER_TENANT = 2
+JOB = dict(budget_vsec_per_node=2.0, n_nodes=2, topology="ring",
+           kick="random_walk")
+
+
+async def follow(svc, tenant, job_id):
+    """Print a tenant's incumbent stream as the solver improves."""
+    async for vsec, length, node_id in svc.stream_incumbents(job_id):
+        print(f"  [{tenant:5s} {job_id}] {vsec:6.2f} vsec  "
+              f"length {length}  (node {node_id})")
+
+
+async def main() -> None:
+    instance = generators.clustered(150, rng=7)
+    print(f"instance: {instance.name}, n={instance.n}\n")
+
+    async with SolverService(backend="sim", max_running=4) as svc:
+        for tenant, policy in TENANTS.items():
+            svc.set_tenant(tenant, policy)
+
+        submitted = []  # (tenant, job_id, seed)
+        for t_index, tenant in enumerate(TENANTS):
+            for j in range(JOBS_PER_TENANT):
+                seed = 10 * t_index + j
+                job_id = svc.submit(instance, tenant=tenant, seed=seed,
+                                    **JOB)
+                submitted.append((tenant, job_id, seed))
+        print(f"submitted {len(submitted)} jobs across "
+              f"{len(TENANTS)} tenants; streaming incumbents:\n")
+
+        # One follower per job, all multiplexed on this event loop.
+        await asyncio.gather(*(
+            follow(svc, tenant, job_id)
+            for tenant, job_id, _seed in submitted
+        ))
+
+        rows = []
+        for tenant, job_id, seed in submitted:
+            status = svc.status(job_id)
+            rows.append((job_id, tenant, seed, status["status"],
+                         status["best_length"] or "-",
+                         f"{status['charged_vsec']:.2f}"))
+        print()
+        print(format_table(
+            ["job", "tenant", "seed", "status", "best", "vsec"], rows,
+            title="jobs after the burst",
+        ))
+
+        stats = svc.stats()
+        print(f"\nstore: {stats['store']['entries']} entries, "
+              f"{stats['store']['hits']} hits "
+              f"(every submit after the first reused the interned "
+              f"instance and its candidate caches)")
+        for tenant, usage in stats["tenants"].items():
+            budget = TENANTS[tenant].vsec_budget
+            print(f"tenant {tenant:5s}: charged "
+                  f"{usage['charged_vsec']:.2f} vsec"
+                  + (f" of {budget:.2f} budget" if budget else ""))
+
+        # The determinism contract, demonstrated on the first job.
+        tenant, job_id, seed = submitted[0]
+        served = await svc.result(job_id)
+        direct = solve(instance, rng=seed, **JOB)
+        same = list(served.best_tour.order) == list(direct.best_tour.order)
+        print(f"\njob {job_id} vs direct solve(rng={seed}): "
+              f"{'bit-identical tours' if same else 'MISMATCH'}")
+        assert same
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

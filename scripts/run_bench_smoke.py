@@ -192,6 +192,44 @@ def main(argv=None) -> int:
     print(f"dist {_INSTANCE}: {dist_res.best_length} in {dist_wall:.2f}s "
           f"wall ({factor.apply(dist_wall):.2f} ref-s)")
 
+    # -- service submit->result roundtrip -------------------------------
+    # Gates the job layer's overhead: scheduler admission, cooperative
+    # slicing, incumbent bookkeeping and result delivery wrapped around
+    # a small fixed solve.  The sim backend keeps it deterministic, and
+    # best-of-repeats (as in the engine legs) keeps a sub-second wall
+    # time gateable on a noisy runner.
+    import asyncio
+
+    from repro.service import SolverService
+
+    svc_inst = generators.uniform(100, rng=777)
+    svc_params = dict(budget_vsec_per_node=1.0, n_nodes=2,
+                      topology="ring")
+
+    async def _svc_roundtrip():
+        async with SolverService(backend="sim") as svc:
+            job_id = svc.submit(svc_inst, seed=_RUN_SEED, **svc_params)
+            return await svc.result(job_id, timeout=300)
+
+    svc_wall, svc_res = None, None
+    for _ in range(_REPEATS):
+        wall, res = _timed(lambda: asyncio.run(_svc_roundtrip()))
+        if svc_wall is None or wall < svc_wall:
+            svc_wall, svc_res = wall, res
+    direct_res = solve(svc_inst, rng=_RUN_SEED, **svc_params)
+    metrics["svc.submit_roundtrip_ref_sec"] = {
+        "value": round(factor.apply(svc_wall), 3),
+        "direction": "lower",
+    }
+    checks["svc_job_matches_direct_solve"] = bool(
+        svc_res.best_tour.length == direct_res.best_tour.length
+        and list(svc_res.best_tour.order) == list(direct_res.best_tour.order)
+    )
+    checks["svc_roundtrip_length"] = int(svc_res.best_tour.length)
+    print(f"svc  submit->result roundtrip: {svc_wall:.2f}s wall "
+          f"({factor.apply(svc_wall):.2f} ref-s), "
+          f"length {svc_res.best_tour.length}")
+
     doc = {
         "format": _FORMAT_VERSION,
         "machine_factor": round(factor.factor, 4),

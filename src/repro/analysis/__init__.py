@@ -21,7 +21,16 @@ from .reporting import (
     format_table,
     op_stats_table,
 )
-from .runio import load_run, load_trace, save_run, save_trace
+from .runio import (
+    load_jobs,
+    load_run,
+    load_trace,
+    run_from_json,
+    run_to_json,
+    save_jobs,
+    save_run,
+    save_trace,
+)
 from .statistics import (
     Comparison,
     bootstrap_mean_ci,
@@ -57,6 +66,10 @@ __all__ = [
     "plot_tour",
     "save_run",
     "load_run",
+    "run_to_json",
+    "run_from_json",
+    "save_jobs",
+    "load_jobs",
     "save_trace",
     "load_trace",
     "compare_traces",

@@ -22,7 +22,16 @@ from ..localsearch.chained_lk import ChainedLKResult
 from ..localsearch.engine import OpStats
 from ..tsp.tour import Tour
 
-__all__ = ["save_run", "load_run", "save_trace", "load_trace"]
+__all__ = [
+    "run_to_json",
+    "run_from_json",
+    "save_run",
+    "load_run",
+    "save_jobs",
+    "load_jobs",
+    "save_trace",
+    "load_trace",
+]
 
 _FORMAT_VERSION = 1
 
@@ -48,8 +57,14 @@ def _events_from_json(node_id: int, data: list) -> EventLog:
     return log
 
 
-def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
-    """Serialize a :class:`ChainedLKResult` or :class:`SimulationResult`."""
+def run_to_json(result, instance_name: str = "") -> dict:
+    """Result object -> JSON-safe document (the on-disk form).
+
+    Split out of :func:`save_run` so results can also cross process
+    boundaries without touching disk — the service's process backend
+    ships this doc through a multiprocessing queue and the parent
+    rebuilds with :func:`run_from_json`.
+    """
     if isinstance(result, ChainedLKResult):
         doc = {
             "format": _FORMAT_VERSION,
@@ -103,16 +118,18 @@ def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
         }
     else:
         raise TypeError(f"cannot serialize {type(result).__name__}")
-    Path(path).write_text(json.dumps(doc, indent=1))
+    return doc
 
 
-def load_run(path: Union[str, Path], instance):
-    """Reload a saved run against its instance.
+def run_from_json(doc: dict, instance):
+    """JSON document (:func:`run_to_json`) -> result object.
 
     Returns a :class:`ChainedLKResult` or :class:`SimulationResult`
-    equivalent to the saved one (tours and traces round-trip exactly).
+    equivalent to the serialized one (tours and traces round-trip
+    exactly).  The tour is re-scored against ``instance`` and must match
+    the saved length — the cheap end-to-end check that the caller paired
+    the doc with the right instance.
     """
-    doc = json.loads(Path(path).read_text())
     if doc.get("format") != _FORMAT_VERSION:
         raise ValueError(f"unsupported run format: {doc.get('format')!r}")
     tour = Tour(instance, np.array(doc["tour"]["order"], dtype=np.intp))
@@ -173,6 +190,48 @@ def load_run(path: Union[str, Path], instance):
             },
         )
     raise ValueError(f"unknown run type {doc['type']!r}")
+
+
+def save_run(result, path: Union[str, Path], instance_name: str = "") -> None:
+    """Serialize a :class:`ChainedLKResult` or :class:`SimulationResult`."""
+    Path(path).write_text(json.dumps(run_to_json(result, instance_name),
+                                     indent=1))
+
+
+def load_run(path: Union[str, Path], instance):
+    """Reload a saved run against its instance (see :func:`run_from_json`)."""
+    return run_from_json(json.loads(Path(path).read_text()), instance)
+
+
+def save_jobs(records, path: Union[str, Path]) -> None:
+    """Persist service job records as a JSON document.
+
+    ``records`` is an iterable of :class:`repro.service.jobs.JobRecord`;
+    the file captures each job's lifecycle (status, tenant, charge,
+    incumbent stream, final tour) so a service run can be audited or
+    re-plotted after the process exits.
+    """
+    doc = {
+        "format": _FORMAT_VERSION,
+        "type": "jobs",
+        "jobs": [r.to_json() for r in records],
+    }
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def load_jobs(path: Union[str, Path]) -> list:
+    """Reload job records saved by :func:`save_jobs` as a list of dicts.
+
+    Job records deliberately reload as plain dicts, not
+    :class:`JobRecord` objects — the consumer is the analysis layer,
+    which only reads them.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported jobs format: {doc.get('format')!r}")
+    if doc.get("type") != "jobs":
+        raise ValueError(f"not a jobs file: type={doc.get('type')!r}")
+    return doc["jobs"]
 
 
 def save_trace(tracer, path: Union[str, Path]) -> None:

@@ -9,6 +9,10 @@
     python -m repro solve fl300 --trace run.trace.jsonl
     python -m repro trace summarize run.trace.jsonl
     python -m repro trace compare before.jsonl after.jsonl
+    python -m repro serve --port 7117 --backend sim
+    python -m repro submit uniform:500:7 --tenant t1 --stream
+    python -m repro status job-0001
+    python -m repro result job-0001 --json
 
 INSTANCE arguments resolve, in order, as: a path to a TSPLIB ``.tsp``
 file; a testbed registry name (ours or the paper's); or a generator spec
@@ -79,6 +83,8 @@ def _trace_to(path):
 
 
 def _cmd_solve(args) -> int:
+    import json
+
     from .core import solve
 
     inst = resolve_instance(args.instance)
@@ -101,26 +107,47 @@ def _cmd_solve(args) -> int:
             kernel=args.kernel,
             rng=args.seed,
         )
-    print(f"instance {inst.name} (n={inst.n})")
-    print(f"best tour: {result.best_length} "
-          f"(node {result.best_node} at {result.best_found_at:.2f} vsec)")
-    for node_id in sorted(result.reasons):
-        print(f"  node {node_id}: {result.clocks[node_id]:.2f} vsec, "
-              f"stopped: {result.reasons[node_id]}")
-    print(f"messages: {result.network_stats.messages} "
-          f"({result.network_stats.broadcasts} broadcasts)")
+    if args.json:
+        print(json.dumps({
+            "instance": inst.name,
+            "n": inst.n,
+            "best_length": int(result.best_length),
+            "best_node": int(result.best_node),
+            "best_found_at_vsec": float(result.best_found_at),
+            "nodes": {
+                str(k): {"clock_vsec": float(result.clocks[k]),
+                         "stopped": result.reasons[k]}
+                for k in sorted(result.reasons)
+            },
+            "messages": result.network_stats.messages,
+            "broadcasts": result.network_stats.broadcasts,
+            "tour": [int(c) for c in result.best_tour.order],
+        }, indent=1))
+    else:
+        print(f"instance {inst.name} (n={inst.n})")
+        print(f"best tour: {result.best_length} "
+              f"(node {result.best_node} at {result.best_found_at:.2f} vsec)")
+        for node_id in sorted(result.reasons):
+            print(f"  node {node_id}: {result.clocks[node_id]:.2f} vsec, "
+                  f"stopped: {result.reasons[node_id]}")
+        print(f"messages: {result.network_stats.messages} "
+              f"({result.network_stats.broadcasts} broadcasts)")
     if args.out:
         tsplib.dump_tour(result.best_tour, args.out, name=inst.name)
-        print(f"tour written to {args.out}")
+        if not args.json:
+            print(f"tour written to {args.out}")
     if args.save_run:
         from .analysis.runio import save_run
 
         save_run(result, args.save_run, instance_name=inst.name)
-        print(f"run saved to {args.save_run}")
+        if not args.json:
+            print(f"run saved to {args.save_run}")
     return 0
 
 
 def _cmd_clk(args) -> int:
+    import json
+
     from .localsearch import LKConfig, chained_lk
 
     inst = resolve_instance(args.instance)
@@ -133,13 +160,139 @@ def _cmd_clk(args) -> int:
             batch_backend=args.batch_backend,
             lk_config=lk_config,
         )
-    print(f"instance {inst.name} (n={inst.n})")
-    print(f"tour: {result.length} after {result.kicks} kicks "
-          f"({result.improvements} improvements, "
-          f"{result.work_vsec:.2f} vsec)")
+    if args.json:
+        print(json.dumps({
+            "instance": inst.name,
+            "n": inst.n,
+            "length": int(result.length),
+            "kicks": result.kicks,
+            "improvements": result.improvements,
+            "work_vsec": float(result.work_vsec),
+            "hit_target": result.hit_target,
+            "tour": [int(c) for c in result.tour.order],
+        }, indent=1))
+    else:
+        print(f"instance {inst.name} (n={inst.n})")
+        print(f"tour: {result.length} after {result.kicks} kicks "
+              f"({result.improvements} improvements, "
+              f"{result.work_vsec:.2f} vsec)")
     if args.out:
         tsplib.dump_tour(result.tour, args.out, name=inst.name)
-        print(f"tour written to {args.out}")
+        if not args.json:
+            print(f"tour written to {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceServer, SolverService, TenantPolicy
+
+    async def run() -> None:
+        policy = TenantPolicy(max_concurrency=args.tenant_concurrency,
+                              vsec_budget=args.tenant_budget)
+        svc = SolverService(backend=args.backend,
+                            max_running=args.max_running,
+                            default_policy=policy)
+        server = ServiceServer(svc, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(backend={args.backend}, max_running={args.max_running}); "
+              "Ctrl-C to stop", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+            if args.save_jobs:
+                from .analysis.runio import save_jobs
+
+                save_jobs(svc.jobs.values(), args.save_jobs)
+                print(f"job records saved to {args.save_jobs}")
+
+    with _trace_to(args.trace):
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("interrupted; server stopped")
+    return 0
+
+
+def _client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port,
+                         timeout=args.timeout)
+
+
+def _cmd_submit(args) -> int:
+    import asyncio
+    import json
+
+    client = _client(args)
+
+    async def run() -> dict:
+        params = {}
+        if args.topology:
+            params["topology"] = args.topology
+        if args.kick:
+            params["kick"] = args.kick
+        job_id = await client.submit(
+            {"spec": args.instance},
+            tenant=args.tenant,
+            priority=args.priority,
+            seed=args.seed,
+            budget_vsec_per_node=args.budget,
+            n_nodes=args.nodes,
+            params=params,
+        )
+        if args.stream:
+            async for doc in client.stream(job_id):
+                if not args.json:
+                    print(f"  {doc['vsec']:.3f} vsec: {doc['length']} "
+                          f"(node {doc['node']})")
+        if args.wait or args.stream:
+            return await client.result(job_id, timeout=args.timeout)
+        return await client.status(job_id)
+
+    doc = asyncio.run(run())
+    if args.json:
+        print(json.dumps(doc, indent=1))
+    elif "tour" in doc:
+        print(f"job {doc['job_id']} {doc['status']}: "
+              f"length {doc['tour']['length']}")
+    else:
+        print(f"job {doc['job_id']} {doc['status']}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import asyncio
+    import json
+
+    client = _client(args)
+    if args.job_id:
+        doc = asyncio.run(client.status(args.job_id))
+    else:
+        doc = asyncio.run(client.stats())
+    print(json.dumps(doc, indent=1))
+    return 0
+
+
+def _cmd_result(args) -> int:
+    import asyncio
+    import json
+
+    client = _client(args)
+    doc = asyncio.run(client.result(args.job_id, timeout=args.timeout))
+    if args.json:
+        print(json.dumps(doc, indent=1))
+    else:
+        print(f"job {doc['job_id']} {doc['status']}: "
+              f"length {doc['tour']['length']} "
+              f"({doc['improvements']} improvements, "
+              f"{doc['charged_vsec']:.2f} vsec charged)")
     return 0
 
 
@@ -256,6 +409,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-run", default=None, help="save run JSON")
     p.add_argument("--trace", default=None,
                    help="record an observability trace (JSONL) to this path")
+    p.add_argument("--json", action="store_true",
+                   help="print the result as JSON (machine-readable)")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("clk", help="sequential Chained LK (ABCC baseline)")
@@ -277,6 +432,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None)
     p.add_argument("--trace", default=None,
                    help="record an observability trace (JSONL) to this path")
+    p.add_argument("--json", action="store_true",
+                   help="print the result as JSON (machine-readable)")
     p.set_defaults(func=_cmd_clk)
 
     p = sub.add_parser("trace", help="inspect observability traces (JSONL)")
@@ -292,6 +449,65 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("a")
     pc.add_argument("b")
     pc.set_defaults(func=_cmd_trace)
+
+    def add_client_args(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7117)
+        p.add_argument("--timeout", type=float, default=300.0,
+                       help="client-side timeout per request (seconds)")
+
+    p = sub.add_parser(
+        "serve", help="run the solver as a job service (JSON-lines TCP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7117,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--backend", default="sim", choices=("sim", "process"),
+                   help="job executor: cooperative in-process simulator "
+                        "or one supervised worker process per job")
+    p.add_argument("--max-running", type=int, default=4,
+                   help="global cap on concurrently running jobs")
+    p.add_argument("--tenant-concurrency", type=int, default=2,
+                   help="default per-tenant concurrent-job limit")
+    p.add_argument("--tenant-budget", type=float, default=None,
+                   help="default per-tenant virtual-second budget "
+                        "(unlimited when omitted)")
+    p.add_argument("--save-jobs", default=None,
+                   help="write job records (JSON) on shutdown")
+    p.add_argument("--trace", default=None,
+                   help="record an observability trace (JSONL) to this path")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    p.add_argument("instance")
+    add_client_args(p)
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=float, default=4.0,
+                   help="virtual seconds per node")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--kick", default=None,
+                   choices=["random", "geometric", "close", "random_walk"])
+    p.add_argument("--topology", default=None,
+                   choices=["hypercube", "ring", "grid", "complete"])
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes and print the result")
+    p.add_argument("--stream", action="store_true",
+                   help="stream incumbents while waiting (implies --wait)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="job status (or service stats without a job id)")
+    p.add_argument("job_id", nargs="?", default=None)
+    add_client_args(p)
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("result", help="wait for a job and print its result")
+    p.add_argument("job_id")
+    add_client_args(p)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_result)
 
     p = sub.add_parser("bound", help="Held-Karp lower bound")
     p.add_argument("instance")

@@ -3,21 +3,27 @@
 :func:`solve` is the public one-call API ("give me a good tour of this
 instance using N cooperating CLK workers"); :func:`replicate` runs the
 paper's repeated-runs protocol (10 runs per configuration) and aggregates.
+
+The run itself lives in :class:`repro.core.session.SolveSession` —
+:func:`solve` constructs a session and runs it to completion, so the
+batch API and the service layer (:mod:`repro.service`) execute the exact
+same code path and cannot drift apart (the service's bit-identical
+determinism contract rests on this).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..distributed.network import LatencyModel
-from ..distributed.simulator import SimulationResult, run_simulation
+from ..distributed.simulator import SimulationResult
 from ..localsearch.lin_kernighan import LKConfig
 from ..obs import get_tracer
 from ..utils.rng import ensure_rng, spawn_rngs
-from .node import NodeConfig
+from .session import SolveSession
 
 __all__ = ["solve", "replicate", "ReplicateSummary"]
 
@@ -59,35 +65,32 @@ def solve(
     on every node; all tiers are bit-identical, so results do not
     change.  It overrides ``lk_config.kernel`` when both are given.
     """
-    if kernel is not None:
-        lk_config = replace(lk_config or LKConfig(), kernel=kernel)
-    config = NodeConfig(
+    session = SolveSession(
+        instance,
+        budget_vsec_per_node,
+        n_nodes=n_nodes,
         kick=kick,
         c_v=c_v,
         c_r=c_r,
         inner_kicks=inner_kicks,
-        lk_config=lk_config or LKConfig(),
+        topology=topology,
         target_length=target_length,
+        lk_config=lk_config,
+        latency=latency,
         backbone_support=backbone_support,
         free_init=free_init,
+        churn=churn,
+        dissemination=dissemination,
+        gossip_fanout=gossip_fanout,
         kick_batch_width=kick_batch_width,
         kick_batch_backend=kick_batch_backend,
+        kernel=kernel,
+        rng=rng,
     )
     with get_tracer().span(
         "solve", instance=getattr(instance, "name", "?"), n_nodes=n_nodes
     ):
-        return run_simulation(
-            instance,
-            budget_vsec_per_node,
-            n_nodes=n_nodes,
-            node_config=config,
-            topology=topology,
-            latency=latency,
-            churn=churn,
-            dissemination=dissemination,
-            gossip_fanout=gossip_fanout,
-            rng=rng,
-        )
+        return session.run()
 
 
 @dataclass

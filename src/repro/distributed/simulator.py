@@ -150,44 +150,89 @@ class Simulator:
         # Read the env flag once at construction; per-step checks must not
         # re-read the environment (cost and mid-run toggling both).
         self._sanitize = sanitize_enabled()
+        #: Per-node vsec budget, set by :meth:`begin`.
+        self._budget: Optional[float] = None
 
-    def run(self, budget_vsec_per_node: float) -> SimulationResult:
-        """Run until every node terminates; budget is per node, as in the
-        paper ('10^3 CPU seconds per node')."""
+    # -- step-wise execution (the service layer's cooperative seam) ----------
+
+    def begin(self, budget_vsec_per_node: float) -> None:
+        """Arm the event loop with a per-node budget (idempotent-hostile:
+        a simulator runs exactly once)."""
         if budget_vsec_per_node <= 0:
             raise ValueError("budget must be positive")
-        nodes = self.nodes
-        net = self.network
+        if self._budget is not None:
+            raise RuntimeError("simulator already started")
+        self._budget = budget_vsec_per_node
 
-        def deadline(n) -> float:
-            leave = self._leave_at.get(n.node_id, float("inf"))
-            return min(budget_vsec_per_node, leave)
+    def _deadline(self, node) -> float:
+        assert self._budget is not None
+        leave = self._leave_at.get(node.node_id, float("inf"))
+        return min(self._budget, leave)
 
-        traced = self.tracer.enabled
-        while True:
-            runnable = [
-                n for n in nodes if not n.done and n.clock < deadline(n)
-            ]
-            if not runnable:
-                break
-            node = min(runnable, key=lambda n: (n.clock, n.node_id))
-            if traced:
-                with self.tracer.span(
-                    "sim.step", vt=lambda: node.clock, node=node.node_id
-                ):
-                    self._run_step(node, deadline(node))
-            else:
-                self._run_step(node, deadline(node))
-            if not node.done and node.clock >= deadline(node):
-                leave = self._leave_at.get(node.node_id, float("inf"))
-                node.stop("left" if node.clock >= leave else "budget")
+    def step(self):
+        """Run the laggard node for one EA iteration.
 
-        for node in nodes:
-            if not node.done:  # pragma: no cover - defensive
-                node.stop("budget")
+        Returns the stepped :class:`~repro.core.node.EANode`, or ``None``
+        when no node is runnable (the run is over — call
+        :meth:`finalize`).  Between any two calls the caller may inspect
+        node state, emit progress events, or decide to stop early; the
+        schedule is a pure function of node clocks, so slicing the loop
+        this way cannot change the result.
+        """
+        if self._budget is None:
+            raise RuntimeError("call begin(budget) before step()")
+        runnable = [
+            n for n in self.nodes
+            if not n.done and n.clock < self._deadline(n)
+        ]
+        if not runnable:
+            return None
+        node = min(runnable, key=lambda n: (n.clock, n.node_id))
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "sim.step", vt=lambda: node.clock, node=node.node_id
+            ):
+                self._run_step(node, self._deadline(node))
+        else:
+            self._run_step(node, self._deadline(node))
+        if not node.done and node.clock >= self._deadline(node):
+            leave = self._leave_at.get(node.node_id, float("inf"))
+            node.stop("left" if node.clock >= leave else "budget")
+        return node
+
+    def finalize(self, reason: str = "budget") -> SimulationResult:
+        """Stop any still-running nodes with ``reason`` and collect the
+        result.  Called with ``"cancelled"`` by a cooperative caller that
+        abandons the run before :meth:`step` returns ``None``."""
+        for node in self.nodes:
+            if not node.done:
+                node.stop(reason)
             # Release any batch-kick pools (no-op at the default width).
             node.close()
         return self._collect_result()
+
+    @property
+    def consumed_vsec(self) -> float:
+        """Total virtual CPU consumed so far (sum of node clocks)."""
+        return sum(n.clock for n in self.nodes)
+
+    def run(self, budget_vsec_per_node: float,
+            progress=None) -> SimulationResult:
+        """Run until every node terminates; budget is per node, as in the
+        paper ('10^3 CPU seconds per node').
+
+        ``progress`` is an optional cooperative callback invoked after
+        every scheduler step with ``(simulator, stepped_node)``; a truthy
+        return value cancels the run (remaining nodes stop with reason
+        ``"cancelled"``).  The callback must not mutate solver state.
+        """
+        self.begin(budget_vsec_per_node)
+        while True:
+            node = self.step()
+            if node is None:
+                return self.finalize()
+            if progress is not None and progress(self, node):
+                return self.finalize("cancelled")
 
     def _run_step(self, node, node_deadline: float) -> None:
         """One EA iteration of ``node``: compute, collect, select, send."""
@@ -242,9 +287,14 @@ class Simulator:
 
     def _collect_result(self) -> SimulationResult:
         nodes = self.nodes
+        with_best = [n for n in nodes if n.s_best is not None]
+        if not with_best:
+            raise RuntimeError(
+                "no node produced a tour (run cancelled before the first "
+                "selection step?)"
+            )
         best_node = min(
-            (n for n in nodes if n.s_best is not None),
-            key=lambda n: (n.s_best.length, n.node_id),
+            with_best, key=lambda n: (n.s_best.length, n.node_id),
         )
         if self._sanitize:
             check_tour(best_node.s_best, "simulation best tour")

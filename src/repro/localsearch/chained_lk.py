@@ -221,6 +221,7 @@ class ChainedLK:
         initial: Tour | None = None,
         on_improvement: Optional[Callable[[float, int], None]] = None,
         free_init: bool = False,
+        progress: Optional[Callable[[float, int], bool]] = None,
     ) -> ChainedLKResult:
         """Run CLK until a budget, kick limit, or target is reached.
 
@@ -233,6 +234,13 @@ class ChainedLK:
         At the paper's scale initialization is ~0.01% of the budget; at
         virtual-time bench scale it is ~25%, so benches exclude it on
         both sides of every comparison (DESIGN.md §2).
+
+        ``progress`` is the cooperative seam for callers that interleave
+        this run with other work (the service layer): it is called after
+        *every* kick iteration with ``(vsec_elapsed, best_length)`` —
+        unlike ``on_improvement``, which fires only on improvements —
+        and a truthy return value stops the run early with the current
+        best (a cooperative cancel; the partial result is still valid).
         """
         if budget_vsec is None and max_kicks is None and target_length is None:
             raise ValueError("need at least one stopping criterion")
@@ -283,6 +291,8 @@ class ChainedLK:
                 best = cand
             if target_length is not None and best.length <= target_length:
                 hit = True
+            if progress is not None and progress(meter.vsec - t0, best.length):
+                break
         if self._polish_ops and not meter.exhausted():
             before = best.length
             for op in self._polish_ops:
@@ -325,6 +335,7 @@ def chained_lk(
     rng=None,
     batch_width: int = 1,
     batch_backend: str = "process",
+    progress: Optional[Callable[[float, int], bool]] = None,
 ) -> ChainedLKResult:
     """One-shot convenience wrapper around :class:`ChainedLK`.
 
@@ -336,4 +347,5 @@ def chained_lk(
         return solver.run(
             budget_vsec=budget_vsec, max_kicks=max_kicks,
             target_length=target_length, free_init=free_init,
+            progress=progress,
         )

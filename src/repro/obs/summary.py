@@ -251,4 +251,27 @@ def summarize_trace(trace: TraceData) -> str:
         ]
         parts += ["", _table(["node"] + fields, table_rows,
                              title="engine telemetry (counters)")]
+    svc = histogram_table(trace, "svc.")
+    if "no histograms" not in svc:
+        parts += ["", "service health (queue depth / job latency):", svc]
+    svc_counters = [
+        (name, dict(key), value)
+        for name in sorted(trace.counters)
+        for key, value in sorted(trace.counters[name].items())
+        if name.startswith("svc.")
+    ]
+    if svc_counters:
+        rows = defaultdict(dict)
+        fields = []
+        for name, labels, value in svc_counters:
+            short = name.split(".", 1)[1]
+            if short not in fields:
+                fields.append(short)
+            rows[labels.get("tenant", "-")][short] = value
+        table_rows = [
+            [tenant] + [int(rows[tenant].get(f, 0)) for f in fields]
+            for tenant in sorted(rows)
+        ]
+        parts += ["", _table(["tenant"] + fields, table_rows,
+                             title="service jobs by tenant (counters)")]
     return "\n".join(parts)

@@ -1,0 +1,129 @@
+"""Priority work queue with per-tenant concurrency and vsec budgets.
+
+The queue orders :class:`~repro.service.jobs.JobRecord` entries by
+``(tenant.priority + job.priority, seq)`` — lower first, FIFO within a
+priority — but admission is gated per tenant: :meth:`WorkQueue.pop_ready`
+skips jobs whose tenant is already at ``max_concurrency`` or has
+exhausted its virtual-time budget, and returns the best *eligible* job.
+Skipped jobs stay queued and become eligible again when the tenant
+releases a slot.
+
+Budgets are charged in **virtual seconds** (the simulator's clock, see
+docs/VIRTUAL_TIME.md), not wall time, so a tenant's allowance buys the
+same amount of optimization work regardless of host load.  The service
+charges incrementally as a job's session advances
+(:meth:`WorkQueue.charge`); a tenant that runs dry mid-job has the job
+failed by the scheduler, and further queued jobs are rejected at pop
+time with :meth:`WorkQueue.budget_exhausted` as the test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Optional
+
+from .jobs import JobRecord, TenantPolicy
+
+__all__ = ["WorkQueue"]
+
+
+class WorkQueue:
+    """Tenant-aware priority queue (event-loop-thread only)."""
+
+    def __init__(self, default_policy: Optional[TenantPolicy] = None):
+        self.default_policy = default_policy or TenantPolicy()
+        self._policies: Dict[str, TenantPolicy] = {}
+        self._heap: list = []  # (priority, seq, JobRecord)
+        self._seq = itertools.count()
+        self._running: Dict[str, int] = {}
+        self._charged: Dict[str, float] = {}
+
+    # -- tenant accounting -------------------------------------------------
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        self._policies[tenant] = policy
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self._policies.get(tenant, self.default_policy)
+
+    def running(self, tenant: str) -> int:
+        return self._running.get(tenant, 0)
+
+    def charged(self, tenant: str) -> float:
+        return self._charged.get(tenant, 0.0)
+
+    def remaining_budget(self, tenant: str) -> Optional[float]:
+        """Unused vsec allowance, or None when unlimited."""
+        budget = self.policy(tenant).vsec_budget
+        if budget is None:
+            return None
+        return budget - self.charged(tenant)
+
+    def budget_exhausted(self, tenant: str) -> bool:
+        remaining = self.remaining_budget(tenant)
+        return remaining is not None and remaining <= 0
+
+    def charge(self, tenant: str, vsec: float) -> None:
+        """Debit ``vsec`` of work against the tenant's allowance."""
+        if vsec:
+            self._charged[tenant] = self.charged(tenant) + float(vsec)
+
+    # -- queue operations --------------------------------------------------
+
+    def push(self, job: JobRecord) -> None:
+        job.seq = next(self._seq)
+        priority = self.policy(job.spec.tenant).priority + job.spec.priority
+        heapq.heappush(self._heap, (priority, job.seq, job))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def pop_ready(self) -> Optional[JobRecord]:
+        """Best-priority job whose tenant has a free slot, or None.
+
+        Tenants at their concurrency cap are skipped (their jobs are
+        re-queued unchanged); budget-exhausted tenants' jobs are *also*
+        returned — the scheduler must check :meth:`budget_exhausted` and
+        fail them, otherwise they would sit queued forever.
+        """
+        skipped = []
+        found = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            job = entry[2]
+            tenant = job.spec.tenant
+            if (not self.budget_exhausted(tenant)
+                    and self.running(tenant)
+                    >= self.policy(tenant).max_concurrency):
+                skipped.append(entry)
+                continue
+            found = job
+            break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        if found is not None:
+            self._running[found.spec.tenant] = (
+                self.running(found.spec.tenant) + 1)
+        return found
+
+    def release(self, job: JobRecord) -> None:
+        """Return the tenant slot taken by :meth:`pop_ready`."""
+        tenant = job.spec.tenant
+        count = self.running(tenant)
+        if count <= 0:
+            raise RuntimeError(
+                f"release without matching pop_ready for tenant {tenant!r}")
+        self._running[tenant] = count - 1
+
+    def remove(self, job_id: str) -> Optional[JobRecord]:
+        """Drop a queued job (cancel-before-run); None if not queued."""
+        for i, (_, _, job) in enumerate(self._heap):
+            if job.job_id == job_id:
+                entry = self._heap.pop(i)
+                heapq.heapify(self._heap)
+                return entry[2]
+        return None

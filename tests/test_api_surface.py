@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.distributed",
     "repro.baselines",
     "repro.analysis",
+    "repro.service",
     "repro.obs",
     "repro.utils",
 ]

@@ -262,6 +262,40 @@ class TestRPL005QueueTimeout:
         """)
         assert out == []
 
+    def test_fires_on_awaited_get_in_service_package(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/service/loop.py", """\
+            async def pump(q):
+                return await q.get()
+        """)
+        assert ids_of(out) == ["RPL005"]
+
+    def test_silent_on_wait_for_wrapped_get(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/service/loop.py", """\
+            import asyncio
+
+            async def pump(q):
+                a = await asyncio.wait_for(q.get(), timeout=1.0)
+                b = await asyncio.wait_for(q.get(), 1.0)
+                return a, b
+        """)
+        assert out == []
+
+    def test_fires_when_wait_for_timeout_is_none(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/service/loop.py", """\
+            import asyncio
+
+            async def pump(q):
+                return await asyncio.wait_for(q.get(), timeout=None)
+        """)
+        assert ids_of(out) == ["RPL005"]
+
+    def test_service_scope_out_of_reach_elsewhere(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/analysis/x.py", """\
+            async def pump(q):
+                return await q.get()
+        """)
+        assert out == []
+
 
 class TestRPL006SilentExcept:
     def test_fires_on_bare_except(self, tmp_path):

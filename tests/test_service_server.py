@@ -1,0 +1,97 @@
+"""TCP front end: protocol roundtrips against a live in-process server."""
+
+import asyncio
+
+import pytest
+
+from repro.service import ServiceClient, ServiceServer, SolverService
+
+pytestmark = pytest.mark.service
+
+JOB = dict(seed=4, budget_vsec_per_node=0.2, n_nodes=2,
+           params={"topology": "ring"})
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(fn):
+    server = ServiceServer(SolverService(backend="sim"), port=0)
+    await server.start()
+    try:
+        client = ServiceClient(port=server.port, timeout=60)
+        return await fn(client, server)
+    finally:
+        await server.close()
+
+
+class TestServer:
+    def test_ping(self):
+        async def body(client, _server):
+            return await client.ping()
+
+        assert run(_with_server(body))
+
+    def test_submit_stream_result_roundtrip(self):
+        async def body(client, _server):
+            job_id = await client.submit({"spec": "uniform:50:3"}, **JOB)
+            streamed = [doc async for doc in client.stream(job_id)]
+            result = await client.result(job_id, timeout=60)
+            status = await client.status(job_id)
+            stats = await client.stats()
+            return job_id, streamed, result, status, stats
+
+        job_id, streamed, result, status, stats = run(_with_server(body))
+        assert job_id == "job-0001"
+        assert status["status"] == "done"
+        lengths = [doc["length"] for doc in streamed]
+        assert lengths and lengths == sorted(lengths, reverse=True)
+        assert result["tour"]["length"] == lengths[-1]
+        assert len(result["tour"]["order"]) == 50
+        assert stats["store"]["entries"] == 1
+
+    def test_cancel_over_wire(self):
+        async def body(client, _server):
+            job_id = await client.submit(
+                {"spec": "uniform:200:1"}, seed=1,
+                budget_vsec_per_node=5.0, n_nodes=4)
+            cancelled = await client.cancel(job_id)
+            # result for a cancelled job is a server-side error.
+            with pytest.raises(RuntimeError):
+                await client.result(job_id, timeout=60)
+            return cancelled, await client.status(job_id)
+
+        cancelled, status = run(_with_server(body))
+        assert cancelled
+        assert status["status"] == "cancelled"
+
+    def test_tenant_policy_over_wire(self):
+        async def body(client, server):
+            await client.set_tenant("vip", max_concurrency=3, priority=-1)
+            policy = server.service.queue.policy("vip")
+            return policy.max_concurrency, policy.priority
+
+        assert run(_with_server(body)) == (3, -1)
+
+    def test_bad_requests_keep_server_alive(self):
+        async def body(client, _server):
+            with pytest.raises(RuntimeError):
+                await client.status("job-9999")  # unknown id
+            with pytest.raises(RuntimeError):
+                await client.submit({"spec": "nonsense:spec"})
+            with pytest.raises(RuntimeError):
+                await client._request({"op": "frobnicate"})
+            return await client.ping()  # still serving
+
+        assert run(_with_server(body))
+
+    def test_duplicate_submits_share_store_across_connections(self):
+        async def body(client, _server):
+            await client.submit({"spec": "uniform:50:3"}, tenant="a", **JOB)
+            await client.submit({"spec": "uniform:50:3"}, tenant="b", **JOB)
+            return (await client.stats())["store"]
+
+        store = run(_with_server(body))
+        assert store["entries"] == 1
+        assert store["hits"] == 1

@@ -106,8 +106,12 @@ DEFAULT_SCOPES: dict[str, RuleScope] = {
         ),
     ),
     # Blocking queue reads without a timeout are the hang class PR 1
-    # eliminated; scoped to the real-process transport layer.
-    "RPL005": RuleScope(include=("src/repro/distributed/",)),
+    # eliminated; scoped to the real-process transport layer and the
+    # asyncio service package (where `await q.get()` outside a finite
+    # asyncio.wait_for is the same hang in coroutine clothing).
+    "RPL005": RuleScope(
+        include=("src/repro/distributed/", "src/repro/service/"),
+    ),
     # Silent exception swallowing is banned everywhere we lint.
     "RPL006": RuleScope(include=(), exclude=("tools/",)),
 }

@@ -410,15 +410,21 @@ class QueueTimeoutRule(Rule):
     rationale = (
         "A bare queue.get()/recv() blocks forever when the producer died "
         "— the silent-hang class PR 1 eliminated; every blocking read in "
-        "the transport layer must bound its wait."
+        "the transport layer must bound its wait.  The asyncio face of "
+        "the same hang is `await q.get()` outside asyncio.wait_for: a "
+        "coroutine parked on a queue whose producer task died waits "
+        "forever, so awaited gets must be wrapped in a finite wait_for."
     )
 
     def check(self, tree, path, config):
+        guarded = self._wait_for_guarded(tree)
         for node in ast.walk(tree):
             if not (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
             ):
+                continue
+            if node in guarded:
                 continue
             attr = node.func.attr
             if attr == "recv" and not node.args and not node.keywords:
@@ -429,6 +435,39 @@ class QueueTimeoutRule(Rule):
                 )
             elif attr == "get":
                 yield from self._check_get(node, path)
+
+    @staticmethod
+    def _wait_for_guarded(tree: ast.Module) -> set:
+        """Calls appearing inside the awaitable argument of a
+        ``wait_for(...)`` with a finite timeout — bounded by
+        construction, so exempt from the timeout checks."""
+        guarded: set = set()
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and (
+                    (isinstance(node.func, ast.Attribute)
+                     and node.func.attr == "wait_for")
+                    or (isinstance(node.func, ast.Name)
+                        and node.func.id == "wait_for")
+                )
+                and node.args
+            ):
+                continue
+            timeout = None
+            if len(node.args) > 1:
+                timeout = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "timeout":
+                    timeout = kw.value
+            if timeout is None or (
+                isinstance(timeout, ast.Constant) and timeout.value is None
+            ):
+                continue
+            for sub in ast.walk(node.args[0]):
+                if isinstance(sub, ast.Call):
+                    guarded.add(sub)
+        return guarded
 
     def _check_get(self, node: ast.Call, path: str):
         kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
