@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 import time
 from contextlib import contextmanager
-from typing import Optional
+from typing import ContextManager, Optional
 
 from .metrics import NULL_METRICS, Metrics
 
@@ -193,7 +193,7 @@ class Tracer:
             else NULL_METRICS
         self._stack: list[int] = []
 
-    def span(self, name: str, vt=None, **labels):
+    def span(self, name: str, vt=None, **labels) -> ContextManager:
         """Open a traced region (use as a context manager).
 
         ``vt`` is an optional virtual-time source (``.vsec`` attribute

@@ -182,7 +182,9 @@ async def run_process_job(
         args=(instance.to_payload(), spec, out_queue),
         daemon=True,
     )
-    proc.start()
+    # spawn-start pickles the payload and execs a fresh interpreter —
+    # tens of milliseconds of blocking work that belongs off-loop.
+    await asyncio.to_thread(proc.start)
     try:
         while True:
             if is_cancelled is not None and is_cancelled():
@@ -195,7 +197,7 @@ async def run_process_job(
                 # Dead worker: drain anything it managed to enqueue
                 # before exiting, then declare the crash.
                 try:
-                    msg = out_queue.get(timeout=0.1)
+                    msg = await asyncio.to_thread(out_queue.get, True, 0.1)
                 except queue_mod.Empty:
                     raise WorkerCrashed(
                         f"worker exited with code {proc.exitcode} "
@@ -214,5 +216,5 @@ async def run_process_job(
     finally:
         if proc.is_alive():
             proc.terminate()
-        proc.join(timeout=5.0)
+        await asyncio.to_thread(proc.join, 5.0)
         out_queue.close()

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
+from typing import Optional, Set
 
 from .jobs import TenantPolicy
 from .service import JobError, SolverService
@@ -66,21 +66,35 @@ class ServiceServer:
         self.service = service
         self.host = host
         self.port = port
-        self._server: Optional[asyncio.base_events.Server] = None
+        self._server: Optional[asyncio.Server] = None
+        # Live connection handlers: Server.wait_closed() does not wait
+        # for in-flight protocol callbacks on 3.10/3.11, so close()
+        # reaps these explicitly instead of leaking them.
+        self._conn_tasks: Set[asyncio.Task] = set()
 
     async def start(self) -> "ServiceServer":
         await self.service.start()
-        self._server = await asyncio.start_server(
+        server = await asyncio.start_server(
             self._handle, self.host, self.port)
+        self._server = server
         # Port 0 means "pick one"; reflect the bound port back.
-        self.port = self._server.sockets[0].getsockname()[1]
+        self.port = server.sockets[0].getsockname()[1]
         return self
 
     async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for task in list(self._conn_tasks):
+            try:
+                await asyncio.wait_for(task, timeout=5.0)
+            except asyncio.TimeoutError:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
         await self.service.close()
 
     async def serve_forever(self) -> None:
@@ -92,6 +106,9 @@ class ServiceServer:
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             line = await asyncio.wait_for(reader.readline(),
                                           timeout=_READ_TIMEOUT_S)
@@ -99,12 +116,20 @@ class ServiceServer:
                 try:
                     request = json.loads(line)
                     await self._dispatch(request, writer)
-                except (JobError, KeyError, ValueError, TypeError,
-                        OSError) as exc:
-                    await self._send(writer, {"ok": False,
-                                              "error": str(exc)})
+                except (JobError, KeyError, ValueError, TypeError) as exc:
+                    # Best-effort error reply: the peer may already be
+                    # gone, and the send failing must not kill the task.
+                    try:
+                        await self._send(writer, {"ok": False,
+                                                  "error": str(exc)})
+                    except (ConnectionError, OSError):
+                        pass
         except asyncio.TimeoutError:
             # Stalled client: drop the connection, keep the server.
+            pass
+        except (ConnectionError, OSError):
+            # Client dropped mid-request or mid-stream; this connection
+            # dies, the server keeps serving the others.
             pass
         finally:
             writer.close()
@@ -113,6 +138,8 @@ class ServiceServer:
             except (ConnectionError, OSError):
                 # Peer already gone; nothing left to flush.
                 pass
+            if task is not None:
+                self._conn_tasks.discard(task)
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, doc: dict) -> None:
@@ -169,12 +196,20 @@ class ServiceServer:
             await self._send(writer, {"ok": True, "job": doc})
         elif op == "stream":
             job_id = request["job_id"]
-            async for vsec, length, node_id in svc.stream_incumbents(job_id):
-                await self._send(writer, {
-                    "vsec": float(vsec),
-                    "length": int(length),
-                    "node": int(node_id),
-                })
+            stream = svc.stream_incumbents(job_id)
+            try:
+                async for vsec, length, node_id in stream:
+                    await self._send(writer, {
+                        "vsec": float(vsec),
+                        "length": int(length),
+                        "node": int(node_id),
+                    })
+            finally:
+                # A client that drops mid-stream aborts the async-for
+                # via the failed send; closing the generator runs its
+                # finally blocks so the job watcher is released instead
+                # of idling until the job ends.
+                await stream.aclose()
             await self._send(writer, {
                 "done": True,
                 "status": svc.status(job_id)["status"],

@@ -127,15 +127,23 @@ class SolverService:
         for task in list(self._tasks.values()):
             try:
                 await asyncio.wait_for(task, timeout=30.0)
-            except (asyncio.TimeoutError, asyncio.CancelledError):
+            except asyncio.TimeoutError:
+                # wait_for already cancelled the task on timeout; await
+                # it so its finally blocks run before we move on —
+                # cancel() without the await leaves a pending task to be
+                # destroyed at loop teardown (the RPL009 leak class).
                 task.cancel()
-        if self._scheduler is not None:
-            self._scheduler.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.cancel()
             try:
-                await self._scheduler
+                await scheduler
             except asyncio.CancelledError:
-                self._scheduler = None
-            self._scheduler = None
+                pass
 
     async def __aenter__(self) -> "SolverService":
         return await self.start()

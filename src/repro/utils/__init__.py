@@ -1,6 +1,16 @@
-"""Shared utilities: deterministic RNG plumbing, work accounting."""
+"""Shared utilities: deterministic RNG plumbing, work accounting,
+seeded schedule fuzzing."""
 
 from .rng import ensure_rng, spawn_rngs
+from .schedfuzz import FuzzReport, ScheduleFuzzer, ShuffleEventLoop, fuzz
 from .work import WorkMeter
 
-__all__ = ["ensure_rng", "spawn_rngs", "WorkMeter"]
+__all__ = [
+    "FuzzReport",
+    "ScheduleFuzzer",
+    "ShuffleEventLoop",
+    "WorkMeter",
+    "ensure_rng",
+    "fuzz",
+    "spawn_rngs",
+]

@@ -1,0 +1,209 @@
+"""Seeded schedule fuzzing: deterministic event-loop interleaving shuffles.
+
+The service layer's determinism contract (docs/SERVICE.md) promises that
+a job's *result* is a pure function of instance and seed no matter how
+the event loop interleaves the coroutines around it.  asyncio's default
+loop runs ready callbacks in strict FIFO order, so a normal test only
+ever exercises ONE interleaving — the friendliest one.  This module
+makes the scheduler adversarial while staying reproducible:
+
+* :class:`ShuffleEventLoop` — a ``SelectorEventLoop`` whose
+  ``call_soon`` inserts each ready callback at a position chosen by an
+  injected ``numpy`` Generator instead of appending it.  Same seed, same
+  schedule — a failure found by seed 17 is replayed by seed 17.
+* :class:`ScheduleFuzzer` — runs one async ``main()`` under a seeded
+  shuffle loop, collects unhandled task exceptions, and reports tasks
+  still pending after main returns (the "clean shutdown" contract:
+  ``close()`` must leave nothing behind).
+* :func:`fuzz` — the harness loop: replay a coroutine factory across
+  many seeds and raise on the first dirty report.
+
+Typical use (see ``tests/test_schedfuzz.py``)::
+
+    from repro.utils.schedfuzz import fuzz
+
+    async def scenario():
+        async with SolverService(backend="sim") as svc:
+            job = svc.submit(inst, seed=3)
+            result = await svc.result(job)
+            assert result.best_tour.length == expected
+
+    fuzz(scenario, seeds=range(8))
+
+Only the *ready-callback order* is shuffled; timer ordering
+(``call_later``) and I/O readiness keep their semantics, so a shuffled
+run is a legal schedule some real deployment could produce — every bug
+found here is a real bug.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Iterable, List, Optional
+
+import numpy as np
+
+from .rng import ensure_rng
+
+__all__ = ["ShuffleEventLoop", "ScheduleFuzzer", "FuzzReport", "fuzz"]
+
+
+class ShuffleEventLoop(asyncio.SelectorEventLoop):
+    """Event loop that permutes ready-callback order from a seeded RNG.
+
+    ``call_soon`` normally appends to the ready deque (FIFO).  Here a
+    freshly queued **coroutine resumption** — a handle whose callback is
+    bound to an :class:`asyncio.Task` (its ``__step``/``__wakeup``) — is
+    moved to a random position, so tasks that became runnable in the
+    same tick execute in a seed-dependent order.  Two deliberate limits
+    keep every shuffled schedule *legal*:
+
+    * infrastructure callbacks (transport plumbing, future bookkeeping
+      like ``_sock_write_done``) are never relocated — asyncio's
+      internals are entitled to their FIFO ordering, and breaking it
+      manufactures failures no real deployment can produce;
+    * a task resumption is never moved ahead of a pending
+      infrastructure callback, because futures schedule their cleanup
+      callbacks *before* the dependent task wakeup and the transport
+      layer relies on that prefix order.
+
+    ``call_soon_threadsafe`` is also left alone: it runs on foreign
+    threads where touching the RNG would race.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        super().__init__(selectors.DefaultSelector())
+        self._shuffle_rng = rng
+        self._shuffling = True
+
+    @staticmethod
+    def _is_task_callback(callback) -> bool:
+        return isinstance(getattr(callback, "__self__", None), asyncio.Task)
+
+    def call_soon(self, callback, *args, context=None):
+        handle = super().call_soon(callback, *args, context=context)
+        if self._shuffling and self._is_task_callback(callback):
+            ready = self._ready  # type: ignore[attr-defined]
+            # The handle we just queued is at the tail (append order);
+            # relocate it among the queued task resumptions.  Guard
+            # against internals drifting across Python versions — if
+            # the tail is not our handle, leave the queue alone rather
+            # than corrupt it.
+            if ready and ready[-1] is handle and len(ready) > 1:
+                ready.pop()
+                start = 0
+                for i in range(len(ready) - 1, -1, -1):
+                    if not self._is_task_callback(
+                            getattr(ready[i], "_callback", None)):
+                        start = i + 1
+                        break
+                pos = int(self._shuffle_rng.integers(
+                    start, len(ready) + 1))
+                ready.insert(pos, handle)
+        return handle
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one seeded run: what, if anything, was left dirty."""
+
+    seed: int
+    result: object = None
+    #: reprs of tasks still pending after main() returned.
+    pending: List[str] = field(default_factory=list)
+    #: ``message: exception`` strings from the loop exception handler
+    #: (fire-and-forget task failures, destroyed-pending warnings...).
+    unhandled: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.pending and not self.unhandled
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"seed {self.seed}: clean"
+        parts = [f"seed {self.seed}:"]
+        for repr_ in self.pending:
+            parts.append(f"  pending task: {repr_}")
+        for msg in self.unhandled:
+            parts.append(f"  unhandled: {msg}")
+        return "\n".join(parts)
+
+
+class ScheduleFuzzer:
+    """Run coroutines under one seeded shuffle schedule."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def run(
+        self,
+        main_factory: Callable[[], Awaitable],
+        timeout: Optional[float] = 60.0,
+    ) -> FuzzReport:
+        """Run ``main_factory()`` to completion under the shuffled loop.
+
+        Returns a :class:`FuzzReport`; exceptions raised *by main* (a
+        failed assertion in the scenario) propagate to the caller, while
+        exceptions asyncio would only log — failed fire-and-forget
+        tasks, pending-task destruction — are captured in the report.
+        ``timeout`` (wall seconds) bounds a deadlocked schedule.
+        """
+        rng = ensure_rng(self.seed)
+        loop = ShuffleEventLoop(rng)
+        report = FuzzReport(seed=self.seed)
+
+        def on_exception(loop_, context):
+            exc = context.get("exception")
+            message = context.get("message", "unhandled error")
+            report.unhandled.append(
+                f"{message}: {exc!r}" if exc is not None else str(message))
+
+        loop.set_exception_handler(on_exception)
+        try:
+            main = main_factory()
+            if timeout is not None:
+                main = asyncio.wait_for(main, timeout=timeout)
+            report.result = loop.run_until_complete(main)
+            # One stabilization tick so done-callbacks scheduled by the
+            # final await get to run before we inventory leftovers.
+            loop.run_until_complete(asyncio.sleep(0))
+            leftovers = [
+                t for t in asyncio.all_tasks(loop) if not t.done()
+            ]
+            report.pending.extend(repr(t) for t in leftovers)
+            for t in leftovers:
+                t.cancel()
+            if leftovers:
+                loop.run_until_complete(
+                    asyncio.gather(*leftovers, return_exceptions=True))
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.run_until_complete(loop.shutdown_default_executor())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+        return report
+
+
+def fuzz(
+    main_factory: Callable[[], Awaitable],
+    seeds: Iterable[int] = range(8),
+    timeout: Optional[float] = 60.0,
+) -> List[FuzzReport]:
+    """Replay ``main_factory`` across ``seeds``; raise on any dirty run.
+
+    Returns the per-seed reports (so callers can also compare
+    ``report.result`` across seeds for schedule-independence).
+    """
+    reports: List[FuzzReport] = []
+    for seed in seeds:
+        report = ScheduleFuzzer(seed).run(main_factory, timeout=timeout)
+        if not report.clean:
+            raise AssertionError(
+                "schedule fuzzer found a dirty run\n" + report.summary())
+        reports.append(report)
+    return reports

@@ -1,0 +1,397 @@
+"""Seeded schedule fuzzing of the service layer.
+
+Two halves.  First, unit tests for the shim itself
+(:mod:`repro.utils.schedfuzz`): same seed reproduces the same callback
+order, different seeds genuinely differ, and the report catches the two
+dirty-shutdown symptoms — tasks still pending after main returns, and
+exceptions asyncio would only log.  Second, the replay harness the ISSUE
+asks for: the service lifecycle scenarios (submit-to-done, cancel,
+budget exhaustion, 3-tenant interleaving, client disconnect) re-run
+under adversarial-but-reproducible schedules across ``REPRO_FUZZ_SEEDS``
+seeds (default 4 locally; CI runs 8), asserting the determinism
+contract — the result is bit-identical to ``solve(rng=S)`` under every
+interleaving — and clean shutdown.
+
+The regression fixture at the bottom reproduces the pre-fix
+``SolverService.close()`` bug (swallow CancelledError, ``cancel()``
+without awaiting) and shows the fuzzer flagging it, while the fixed
+pattern comes back clean under every seed.
+"""
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.service import (
+    JobError,
+    ServiceClient,
+    ServiceServer,
+    SolverService,
+    TenantPolicy,
+)
+from repro.tsp import generators
+from repro.utils.schedfuzz import ScheduleFuzzer, fuzz
+
+pytestmark = pytest.mark.schedfuzz
+
+N_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "4"))
+SEEDS = list(range(N_SEEDS))
+
+PARAMS = dict(budget_vsec_per_node=0.1, n_nodes=2, topology="ring")
+
+_direct_cache = {}
+
+
+def small_instance(n=40, seed=3):
+    return generators.uniform(n, rng=seed)
+
+
+def direct_order(inst_seed, rng_seed, n=40):
+    """Direct-solve twin of a fuzzed job, computed once per seed pair."""
+    key = (inst_seed, rng_seed, n)
+    if key not in _direct_cache:
+        result = solve(small_instance(n=n, seed=inst_seed), rng=rng_seed,
+                       **PARAMS)
+        _direct_cache[key] = result.best_tour.order.tolist()
+    return _direct_cache[key]
+
+
+# -- the shim itself ---------------------------------------------------------
+
+
+class TestShuffleLoop:
+    @staticmethod
+    def _order_scenario(log):
+        async def main():
+            async def worker(i):
+                log.append(i)
+
+            await asyncio.gather(*[worker(i) for i in range(10)])
+
+        return main
+
+    def test_same_seed_same_schedule(self):
+        first, second = [], []
+        ScheduleFuzzer(17).run(self._order_scenario(first))
+        ScheduleFuzzer(17).run(self._order_scenario(second))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        orders = set()
+        for seed in range(6):
+            log = []
+            report = ScheduleFuzzer(seed).run(self._order_scenario(log))
+            assert report.clean, report.summary()
+            orders.add(tuple(log))
+        assert len(orders) > 1, "shuffle produced no schedule diversity"
+        assert all(sorted(o) == list(range(10)) for o in orders)
+
+    def test_pending_task_detected(self):
+        async def leaky():
+            async def sleeper():
+                await asyncio.sleep(30)
+
+            asyncio.get_running_loop().create_task(sleeper())
+            await asyncio.sleep(0)
+
+        report = ScheduleFuzzer(0).run(leaky)
+        assert not report.clean
+        assert report.pending
+
+    def test_unhandled_task_exception_detected(self):
+        async def firing():
+            async def boom():
+                raise RuntimeError("fire-and-forget failure")
+
+            task = asyncio.get_running_loop().create_task(boom())
+            await asyncio.sleep(0.01)
+            del task  # drop the only reference: asyncio logs at GC time
+
+        report = ScheduleFuzzer(0).run(firing)
+        assert report.unhandled, report.summary()
+
+    def test_fuzz_raises_on_dirty_run(self):
+        async def leaky():
+            asyncio.get_running_loop().create_task(asyncio.sleep(30))
+            await asyncio.sleep(0)
+
+        with pytest.raises(AssertionError, match="dirty"):
+            fuzz(leaky, seeds=[0])
+
+    def test_scenario_exceptions_propagate(self):
+        async def failing():
+            raise ValueError("scenario assertion")
+
+        with pytest.raises(ValueError, match="scenario assertion"):
+            ScheduleFuzzer(0).run(failing)
+
+
+# -- service lifecycle under adversarial schedules ---------------------------
+
+
+class TestLifecycleUnderFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_job_bit_identical_to_direct_solve(self, seed):
+        inst = small_instance()
+
+        async def main():
+            async with SolverService(backend="sim", slice_steps=2) as svc:
+                job_id = svc.submit(inst, seed=5, **PARAMS)
+                result = await svc.result(job_id, timeout=60)
+                return result.best_tour.order.tolist()
+
+        report = ScheduleFuzzer(seed).run(main)
+        assert report.clean, report.summary()
+        assert report.result == direct_order(3, 5)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cancel_mid_run_clean_shutdown(self, seed):
+        async def main():
+            async with SolverService(backend="sim", slice_steps=1) as svc:
+                job_id = svc.submit(small_instance(n=150, seed=2), seed=1,
+                                    budget_vsec_per_node=5.0, n_nodes=2)
+                for _ in range(200):
+                    await asyncio.sleep(0.005)
+                    if svc.status(job_id)["status"] != "queued":
+                        break
+                svc.cancel(job_id)
+                with pytest.raises(JobError):
+                    await svc.result(job_id, timeout=60)
+                return svc.status(job_id)["status"]
+
+        report = ScheduleFuzzer(seed).run(main)
+        assert report.clean, report.summary()
+        assert report.result == "cancelled"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_budget_exhaustion_clean_shutdown(self, seed):
+        async def main():
+            async with SolverService(backend="sim", slice_steps=4) as svc:
+                svc.set_tenant("poor", TenantPolicy(max_concurrency=2,
+                                                    vsec_budget=0.05))
+                job_id = svc.submit(small_instance(n=80, seed=1),
+                                    tenant="poor", seed=1,
+                                    budget_vsec_per_node=5.0, n_nodes=2)
+                with pytest.raises(JobError, match="budget"):
+                    await svc.result(job_id, timeout=60)
+                return svc.status(job_id)["status"]
+
+        report = ScheduleFuzzer(seed).run(main)
+        assert report.clean, report.summary()
+        assert report.result == "failed"
+
+    def test_three_tenant_interleaving_schedule_independent(self):
+        """3 tenants x 2 jobs: the full result map — job id to final
+        tour — is identical under every fuzzed schedule, and each tour
+        matches its direct-solve twin."""
+        inst = small_instance(n=50, seed=4)
+        tenants = ("red", "green", "blue")
+
+        async def main():
+            async with SolverService(backend="sim", max_running=4,
+                                     slice_steps=4) as svc:
+                for t in tenants:
+                    svc.set_tenant(t, TenantPolicy(max_concurrency=2))
+                jobs = {}
+                for t in tenants:
+                    for k in range(2):
+                        job_id = svc.submit(inst, tenant=t, seed=50 + k,
+                                            **PARAMS)
+                        jobs[job_id] = 50 + k
+                out = {}
+                for job_id, seed in jobs.items():
+                    result = await svc.result(job_id, timeout=60)
+                    out[job_id] = (seed, result.best_tour.order.tolist())
+                return out
+
+        reports = fuzz(main, seeds=SEEDS, timeout=120)
+        baseline = reports[0].result
+        for report in reports[1:]:
+            assert report.result == baseline, (
+                "schedule changed a job result: determinism contract broken")
+        for seed, order in baseline.values():
+            assert order == direct_order(4, seed, n=50)
+
+
+# -- TCP front end under adversarial schedules -------------------------------
+
+
+class TestServerUnderFuzz:
+    def test_client_drop_mid_stream_server_survives(self):
+        """A client that vanishes mid-stream must not leave the server
+        dirty under any schedule: the handler unwinds, the watcher is
+        released, other clients keep being served."""
+
+        async def main():
+            server = ServiceServer(SolverService(backend="sim"), port=0)
+            await server.start()
+            try:
+                client = ServiceClient(port=server.port, timeout=60)
+                job_id = await client.submit(
+                    {"spec": "uniform:120:1"}, seed=1,
+                    budget_vsec_per_node=1.0, n_nodes=2,
+                    params={"topology": "ring"})
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(json.dumps(
+                    {"op": "stream", "job_id": job_id}).encode() + b"\n")
+                await writer.drain()
+                await asyncio.wait_for(reader.readline(), timeout=60)
+                writer.close()  # vanish mid-stream
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                alive = await client.ping()
+                await client.result(job_id, timeout=60)
+                return alive
+            finally:
+                await server.close()
+
+        for seed in SEEDS[:3]:
+            report = ScheduleFuzzer(seed).run(main, timeout=120)
+            assert report.clean, report.summary()
+            assert report.result is True
+
+    def test_client_drop_mid_request_server_survives(self):
+        """Half a request then a vanished peer: the handler must parse-
+        fail, skip the reply to the dead socket, and unwind — under
+        every schedule."""
+
+        async def main():
+            server = ServiceServer(SolverService(backend="sim"), port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b'{"op": "stat')  # no newline: truncated
+                await writer.drain()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                client = ServiceClient(port=server.port, timeout=60)
+                return await client.ping()
+            finally:
+                await server.close()
+
+        for seed in SEEDS[:3]:
+            report = ScheduleFuzzer(seed).run(main, timeout=120)
+            assert report.clean, report.summary()
+            assert report.result is True
+
+
+# -- the close() task-leak regression fixture --------------------------------
+
+
+class TestCloseTaskLeakRegression:
+    """Reproduces the pre-fix ``SolverService.close()`` bug as a minimal
+    fixture.  The old code caught CancelledError from ``wait_for``,
+    called ``task.cancel()`` and moved on — swallowing the shutdown
+    signal (RPL011) and never awaiting the cancelled task (RPL009).  On
+    modern asyncio that swallow turns a cancelled shutdown into a hang:
+    close() shrugs off its own cancellation and parks in the *next*
+    task's 30-second ``wait_for``, so the caller has to abandon it —
+    leaving the closer and the un-reaped job task pending at loop
+    teardown (the "Task was destroyed but it is pending!" class).  The
+    fuzzer must flag that; the fixed pattern must come back clean."""
+
+    @staticmethod
+    def _scenario(close_impl):
+        async def main():
+            loop = asyncio.get_running_loop()
+
+            async def job():
+                try:
+                    await asyncio.sleep(30)
+                except asyncio.CancelledError:
+                    # Cleanup that must run to completion, like a job
+                    # task's finally block releasing queue slots.
+                    while True:
+                        try:
+                            await asyncio.sleep(0.05)
+                            break
+                        except asyncio.CancelledError:
+                            continue
+                    raise
+
+            tasks = [loop.create_task(job()) for _ in range(2)]
+            await asyncio.sleep(0.01)
+            closer = loop.create_task(close_impl(tasks))
+            await asyncio.sleep(0.01)  # closer parks in wait_for
+            closer.cancel()            # shutdown cancels close() itself
+            # A real teardown cannot wait forever for close(); the
+            # pre-fix close swallows the cancel and hangs in the next
+            # 30 s wait_for, so it gets abandoned here.
+            done, _ = await asyncio.wait({closer}, timeout=0.5)
+            if closer in done and closer.cancelled():
+                # The fixed close propagates cancellation; the caller
+                # (service teardown) reaps the job tasks properly.
+                for t in tasks:
+                    t.cancel()
+                    try:
+                        await t
+                    except asyncio.CancelledError:
+                        pass
+            return closer.cancelled()
+
+        return main
+
+    def test_prefix_close_pattern_leaks_pending_task(self):
+        async def old_close(tasks):
+            for t in tasks:
+                try:
+                    await asyncio.wait_for(t, timeout=30.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    t.cancel()  # never awaited — the pre-fix bug
+
+        for seed in SEEDS:
+            report = ScheduleFuzzer(seed).run(self._scenario(old_close))
+            assert not report.clean, (
+                f"seed {seed}: fuzzer failed to catch the close() leak")
+            assert report.pending, report.summary()
+            # The swallowed CancelledError is the co-symptom: close()
+            # "completed normally" despite being cancelled.
+            assert report.result is False
+
+    def test_fixed_close_pattern_shuts_down_clean(self):
+        async def new_close(tasks):
+            for t in tasks:
+                try:
+                    await asyncio.wait_for(t, timeout=30.0)
+                except asyncio.TimeoutError:
+                    t.cancel()
+                    try:
+                        await t
+                    except asyncio.CancelledError:
+                        pass
+
+        reports = fuzz(self._scenario(new_close), seeds=SEEDS)
+        assert all(r.result is True for r in reports)
+
+
+# -- process backend under fuzz (bounded: spawn is wall-clock heavy) ---------
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(180)
+class TestProcessBackendUnderFuzz:
+    def test_worker_crash_surfaces_failed_job_clean(self):
+        async def main():
+            async with SolverService(backend="process") as svc:
+                job_id = svc.submit(small_instance(n=50, seed=1), seed=1,
+                                    budget_vsec_per_node=0.2, n_nodes=2,
+                                    _crash=True)
+                with pytest.raises(JobError, match="worker exited"):
+                    await svc.result(job_id, timeout=120)
+                return svc.status(job_id)["status"]
+
+        for seed in SEEDS[:2]:
+            report = ScheduleFuzzer(seed).run(main, timeout=150)
+            assert report.clean, report.summary()
+            assert report.result == "failed"

@@ -95,3 +95,83 @@ class TestServer:
         store = run(_with_server(body))
         assert store["entries"] == 1
         assert store["hits"] == 1
+
+
+class TestClientDisconnect:
+    """A peer that vanishes mid-conversation must cost the server only
+    that one connection: the handler unwinds, its task leaves
+    ``_conn_tasks``, and everyone else keeps being served."""
+
+    def test_drop_mid_stream(self):
+        async def body(client, server):
+            job_id = await client.submit(
+                {"spec": "uniform:150:1"}, seed=1,
+                budget_vsec_per_node=2.0, n_nodes=2,
+                params={"topology": "ring"})
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.write(
+                b'{"op": "stream", "job_id": "%s"}\n' % job_id.encode())
+            await writer.drain()
+            # Take one incumbent line, then vanish without reading the
+            # rest of the stream.
+            first = await asyncio.wait_for(reader.readline(), timeout=60)
+            assert first
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            # The server must still answer other clients and finish the
+            # job; the dead handler must drain out of _conn_tasks.
+            alive = await client.ping()
+            await client.result(job_id, timeout=60)
+            for _ in range(100):
+                if not server._conn_tasks:
+                    break
+                await asyncio.sleep(0.05)
+            return alive, len(server._conn_tasks)
+
+        alive, leftover = run(_with_server(body))
+        assert alive is True
+        assert leftover == 0
+
+    def test_drop_mid_request(self):
+        async def body(client, server):
+            # Half a request — bytes but no newline — then vanish: the
+            # handler sees a truncated line at EOF, fails to parse it,
+            # and must not be able to reply to the closed socket.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.write(b'{"op": "stat')
+            await writer.drain()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            alive = await client.ping()
+            for _ in range(100):
+                if not server._conn_tasks:
+                    break
+                await asyncio.sleep(0.05)
+            return alive, len(server._conn_tasks)
+
+        alive, leftover = run(_with_server(body))
+        assert alive is True
+        assert leftover == 0
+
+    def test_drop_before_any_bytes(self):
+        async def body(client, server):
+            # Connect-and-leave: readline returns b"" and the handler
+            # must treat the empty line as "no request", not an error.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return await client.ping()
+
+        assert run(_with_server(body)) is True

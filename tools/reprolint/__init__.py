@@ -25,13 +25,18 @@ Configuration lives in ``pyproject.toml`` under ``[tool.reprolint]``
 """
 
 from .config import Config, load_config
+from .dataflow import FunctionFlow, ModuleInfo, ProjectIndex, TaintEnv
 from .engine import Violation, lint_file, lint_paths
 from .rules import ALL_RULES, Rule
 
 __all__ = [
     "ALL_RULES",
     "Config",
+    "FunctionFlow",
+    "ModuleInfo",
+    "ProjectIndex",
     "Rule",
+    "TaintEnv",
     "Violation",
     "lint_file",
     "lint_paths",

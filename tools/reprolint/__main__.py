@@ -2,18 +2,60 @@
 
 Exit status 0 when clean, 1 when violations were found, 2 on usage
 errors — the contract the CI static-analysis job and the pre-commit
-hook rely on.
+hook rely on.  ``--format`` selects the output shape: ``text`` (the
+human default), ``json`` (one machine-readable document on stdout for
+editor/tooling integration), or ``github`` (workflow-command lines —
+``::error file=...`` — so CI violations annotate the PR diff).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+from typing import Sequence
 
 from .config import load_config
-from .engine import lint_paths
+from .engine import Violation, lint_paths
 from .rules import ALL_RULES
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """One JSON document: ``{"violations": [...], "count": N}``."""
+    return json.dumps(
+        {
+            "violations": [
+                {
+                    "rule": v.rule_id,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+            "count": len(violations),
+        },
+        indent=2,
+    )
+
+
+def render_github(v: Violation) -> str:
+    """A GitHub Actions workflow-command line that annotates the diff.
+
+    Newlines/percents in the message are URL-encoded per the workflow
+    command spec; ``col`` is 0-based in the engine, 1-based for GitHub.
+    """
+    message = (
+        v.message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    return (
+        f"::error file={v.path},line={v.line},col={v.col + 1},"
+        f"title=reprolint {v.rule_id}::{v.rule_id} {message}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,6 +74,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--root", default=".",
         help="project root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format: human text, one JSON document, or GitHub "
+        "workflow-annotation lines (default: text)",
     )
     args = parser.parse_args(argv)
 
@@ -56,8 +103,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
     violations = lint_paths(paths, config=config, root=root)
-    for v in violations:
-        print(v.render())
+    if args.format == "json":
+        print(render_json(violations))
+    else:
+        for v in violations:
+            print(render_github(v) if args.format == "github"
+                  else v.render())
     if violations:
         print(
             f"reprolint: {len(violations)} violation(s) "

@@ -114,6 +114,18 @@ DEFAULT_SCOPES: dict[str, RuleScope] = {
     ),
     # Silent exception swallowing is banned everywhere we lint.
     "RPL006": RuleScope(include=(), exclude=("tools/",)),
+    # The dataflow tier (RPL007–011) guards the asyncio service layer —
+    # the one package whose correctness depends on what happens *between*
+    # statements: blocking calls on the event loop, read-modify-writes
+    # spanning awaits, lost task handles, determinism taint flowing into
+    # persisted records, and swallowed CancelledError.  Scoped to
+    # src/repro/service/ because that is where the event loop lives; the
+    # rest of the codebase is synchronous and covered by RPL001–006.
+    "RPL007": RuleScope(include=("src/repro/service/",)),
+    "RPL008": RuleScope(include=("src/repro/service/",)),
+    "RPL009": RuleScope(include=("src/repro/service/",)),
+    "RPL010": RuleScope(include=("src/repro/service/",)),
+    "RPL011": RuleScope(include=("src/repro/service/",)),
 }
 
 #: Dataclasses that cross the mp_backend boundary (pickled into worker

@@ -1,0 +1,719 @@
+"""Module-level dataflow tier: await-epoch CFG, symbol index, taint.
+
+The per-statement rules in :mod:`tools.reprolint.rules` see one AST node
+at a time; the concurrency invariants of the asyncio service layer live
+*between* statements — a read of shared state before an ``await`` and a
+write after it, a task whose handle is dropped, a wall-clock value that
+flows three assignments later into a persisted record.  This module
+provides the three analyses those rules (RPL007–RPL011) are built on:
+
+* :class:`FunctionFlow` — a linearized walk of one function body in
+  approximate execution order, annotating every attribute read/write and
+  call with its **await epoch** (number of await points crossed before
+  it), lock depth (``async with <lock>:`` nesting) and innermost-loop
+  id.  Two accesses in different epochs have an await between them: any
+  other coroutine may have run.  The walk is linear (branches of an
+  ``if`` share the parent's epoch counter) — a deliberate approximation
+  that errs on flagging, documented in docs/CHECKS.md.
+* :class:`ProjectIndex` — a lightweight project-wide symbol/attribute
+  index: every class's ``__init__``-assigned attributes classified as
+  container / lock / task / other, the class each attribute is an
+  instance of (``self.queue = WorkQueue(...)``), and the set of frozen
+  dataclasses (wire types).  Built once per lint run over every parsed
+  module, so a rule inspecting ``service.py`` knows that
+  ``self.queue._heap`` reaches the list inside ``queue.py``'s
+  ``WorkQueue``.
+* :class:`TaintEnv` — intra-function determinism taint: values
+  originating from wall-clock reads, ``os.urandom``/``id()``/``uuid``,
+  or unordered ``set`` iteration, propagated through assignments and
+  expressions until they hit a persistence sink.
+
+Nested ``def``/``lambda`` bodies are skipped by the flow walk (they
+execute at an unknown time) and analyzed as functions of their own.
+
+The ``# reprolint: atomic-section`` annotation marks a reviewed
+read-modify-write that spans an await on purpose; it is parsed here
+(:attr:`ModuleInfo.atomic_lines`) and honoured by RPL008.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ModuleInfo",
+    "ProjectIndex",
+    "ClassInfo",
+    "FunctionFlow",
+    "FlowEvent",
+    "TaintEnv",
+    "dotted_name",
+    "import_map",
+    "iter_functions",
+]
+
+_ATOMIC_RE = re.compile(r"#\s*reprolint:\s*atomic-section\b")
+
+#: Method names that mutate their receiver in place.  A call
+#: ``self.x.append(v)`` is recorded as a *write* of ``self.x`` (and the
+#: incidental read of the receiver is suppressed — the mutation is one
+#: atomic access, not a stale read followed by a write).
+MUTATORS = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "pop", "popleft",
+        "popitem", "remove", "discard", "clear", "add", "update",
+        "setdefault", "push", "move_to_end", "put_nowait", "sort",
+        "reverse",
+    }
+)
+
+#: Container constructors / annotation heads marking an attribute as
+#: shared mutable state for RPL008.
+_CONTAINER_HEADS = frozenset(
+    {
+        "dict", "list", "set", "Dict", "List", "Set", "OrderedDict",
+        "defaultdict", "deque", "Counter", "MutableMapping",
+    }
+)
+
+_LOCK_HEADS = frozenset({"Lock", "RLock", "Semaphore", "BoundedSemaphore",
+                         "Condition"})
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def dotted_name(node: ast.AST,
+                aliases: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Resolve ``a.b.c`` chains to a dotted string, through import
+    aliases when a map is given (``np`` -> ``numpy``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = node.id
+    if aliases is not None:
+        head = aliases.get(head, head)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local alias -> full dotted path, from the module's imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+        elif isinstance(node, ast.ImportFrom) and node.level:
+            # Relative import: keep the tail so `from ..analysis.runio
+            # import run_to_json` still resolves to `...runio.run_to_json`.
+            mod = node.module or ""
+            for a in node.names:
+                aliases[a.asname or a.name] = (
+                    f"{mod}.{a.name}" if mod else a.name
+                )
+    aliases.setdefault("np", "numpy")
+    return aliases
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Optional[ast.ClassDef]]]:
+    """Yield every function/coroutine with its enclosing class (if any),
+    including nested ones — each is analyzed independently."""
+
+    def walk(node: ast.AST, cls: Optional[ast.ClassDef]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from walk(child, None)
+            else:
+                yield from walk(child, cls)
+
+    yield from walk(tree, None)
+
+
+# ---------------------------------------------------------------------------
+# module wrapper
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file plus the derived per-module facts rules share."""
+
+    path: str  # posix path relative to the project root
+    tree: ast.Module
+    source: str
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: Lines carrying a ``# reprolint: atomic-section`` annotation.
+    atomic_lines: Set[int] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, path: str, tree: ast.Module, source: str) -> "ModuleInfo":
+        atomic = {
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if _ATOMIC_RE.search(text)
+        }
+        return cls(path=path, tree=tree, source=source,
+                   aliases=import_map(tree), atomic_lines=atomic)
+
+
+# ---------------------------------------------------------------------------
+# project-wide symbol/attribute index
+
+
+@dataclass
+class ClassInfo:
+    """What the index knows about one class."""
+
+    name: str
+    module: str
+    frozen_dataclass: bool = False
+    #: attr -> "container" | "lock" | "task" | "other"
+    attr_kinds: Dict[str, str] = field(default_factory=dict)
+    #: attr -> class name it is constructed from (``self.q = WorkQueue()``)
+    attr_class: Dict[str, str] = field(default_factory=dict)
+
+
+def _annotation_head(node: ast.AST) -> Optional[str]:
+    """Leftmost name of an annotation (``Dict[str, int]`` -> ``Dict``)."""
+    if isinstance(node, ast.Subscript):
+        return _annotation_head(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _annotation_head(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    return None
+
+
+def _value_kind(value: ast.AST) -> Tuple[str, Optional[str]]:
+    """Classify an assigned value: (kind, constructed-class-name)."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return "container", None
+    if isinstance(value, ast.Call):
+        head = None
+        if isinstance(value.func, ast.Name):
+            head = value.func.id
+        elif isinstance(value.func, ast.Attribute):
+            head = value.func.attr
+        if head in _CONTAINER_HEADS:
+            return "container", None
+        if head in _LOCK_HEADS:
+            return "lock", None
+        if head in ("create_task", "ensure_future"):
+            return "task", None
+        if head and head[0].isupper():
+            return "other", head
+    return "other", None
+
+
+class ProjectIndex:
+    """Project-wide class/attribute facts, built once per lint run."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+
+    @classmethod
+    def build(cls, modules: Iterable[ModuleInfo]) -> "ProjectIndex":
+        index = cls()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    index._index_class(node, module)
+        return index
+
+    def _index_class(self, node: ast.ClassDef, module: ModuleInfo) -> None:
+        info = self.classes.setdefault(
+            node.name, ClassInfo(name=node.name, module=module.path))
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = getattr(target, "id", None) or getattr(target, "attr", None)
+            if name == "dataclass" and isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if (kw.arg == "frozen"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True):
+                        info.frozen_dataclass = True
+        for stmt in node.body:
+            # Class-level annotations: ``jobs: Dict[str, JobRecord]``.
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                head = _annotation_head(stmt.annotation)
+                if head in _CONTAINER_HEADS:
+                    info.attr_kinds.setdefault(stmt.target.id, "container")
+        for fn in node.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(fn):
+                if isinstance(sub, ast.AnnAssign):
+                    target, value = sub.target, sub.value
+                elif isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    target, value = sub.targets[0], sub.value
+                else:
+                    continue
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                attr = target.attr
+                if isinstance(sub, ast.AnnAssign):
+                    head = _annotation_head(sub.annotation)
+                    if head in _CONTAINER_HEADS:
+                        info.attr_kinds[attr] = "container"
+                        continue
+                    if head == "Task":
+                        info.attr_kinds[attr] = "task"
+                        continue
+                if value is None:
+                    continue
+                kind, klass = _value_kind(value)
+                if kind != "other":
+                    # Never let a later ``self.x = None`` downgrade a
+                    # known container/lock/task classification.
+                    info.attr_kinds[attr] = kind
+                else:
+                    info.attr_kinds.setdefault(attr, "other")
+                    if klass is not None:
+                        info.attr_class[attr] = klass
+                if "lock" in attr.lower() or "mutex" in attr.lower():
+                    info.attr_kinds[attr] = "lock"
+
+    # -- queries -----------------------------------------------------------
+
+    def wire_type_names(self) -> Set[str]:
+        """Frozen dataclasses — the project's value/wire types."""
+        return {
+            name for name, info in self.classes.items()
+            if info.frozen_dataclass
+        }
+
+    def shared_state(self, class_name: Optional[str],
+                     dotted: str) -> bool:
+        """Is ``self.<...>`` (``dotted``) shared mutable container state,
+        resolved through the attribute index of ``class_name``?
+
+        Handles one level of indirection: ``self._tasks`` via the class's
+        own attrs, and ``self.queue._heap`` via the indexed class of
+        ``self.queue``.
+        """
+        parts = dotted.split(".")
+        if len(parts) < 2 or parts[0] != "self" or class_name is None:
+            return False
+        info = self.classes.get(class_name)
+        if info is None:
+            return False
+        if len(parts) == 2:
+            return info.attr_kinds.get(parts[1]) == "container"
+        inner = self.classes.get(info.attr_class.get(parts[1], ""))
+        if inner is not None and len(parts) == 3:
+            return inner.attr_kinds.get(parts[2]) == "container"
+        return False
+
+    def is_lock(self, class_name: Optional[str], dotted: str) -> bool:
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "self" and class_name:
+            info = self.classes.get(class_name)
+            if info and info.attr_kinds.get(parts[1]) == "lock":
+                return True
+        return "lock" in parts[-1].lower() or "mutex" in parts[-1].lower()
+
+    def is_task_attr(self, class_name: Optional[str], dotted: str) -> bool:
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "self" and class_name:
+            info = self.classes.get(class_name)
+            return bool(info and info.attr_kinds.get(parts[1]) == "task")
+        return False
+
+
+# ---------------------------------------------------------------------------
+# execution-order flow walk
+
+
+@dataclass
+class FlowEvent:
+    """One access in the linearized walk of a function body.
+
+    ``kind`` is ``read`` / ``write`` / ``call`` / ``await`` /
+    ``await_name`` (an await whose operand is a plain name or attribute —
+    i.e. awaiting a task handle, directly or through
+    ``wait_for``/``shield``/``gather``).
+    """
+
+    kind: str
+    name: Optional[str]
+    node: ast.AST
+    epoch: int
+    lock_depth: int
+    loop_id: Optional[int]
+    position: int
+
+
+class FunctionFlow:
+    """Linearized await-epoch walk of one (async) function body."""
+
+    def __init__(self, fn, module: ModuleInfo,
+                 index: Optional[ProjectIndex] = None,
+                 class_name: Optional[str] = None):
+        self.fn = fn
+        self.module = module
+        self.index = index
+        self.class_name = class_name
+        self.events: List[FlowEvent] = []
+        #: loop_id -> True when the loop body crosses an await.
+        self.loop_awaits: Dict[int, bool] = {}
+        self._epoch = 0
+        self._lock_depth = 0
+        self._loop_stack: List[int] = []
+        self._next_loop = 0
+        self._pos = 0
+        self._visit_stmts(fn.body)
+
+    # -- event emission ----------------------------------------------------
+
+    def _emit(self, kind: str, name: Optional[str], node: ast.AST) -> None:
+        self._pos += 1
+        self.events.append(FlowEvent(
+            kind=kind, name=name, node=node, epoch=self._epoch,
+            lock_depth=self._lock_depth,
+            loop_id=self._loop_stack[-1] if self._loop_stack else None,
+            position=self._pos,
+        ))
+
+    def _bump_epoch(self, node: ast.AST) -> None:
+        self._emit("await", None, node)
+        self._epoch += 1
+        for loop_id in self._loop_stack:
+            self.loop_awaits[loop_id] = True
+
+    # -- statements --------------------------------------------------------
+
+    def _visit_stmts(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scope: executes at an unknown time
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value)
+            for target in stmt.targets:
+                self._visit_target(target)
+        elif isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value)
+            self._visit_expr(stmt.target, force_load=True)
+            self._visit_target(stmt.target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+                self._visit_target(stmt.target)
+        elif isinstance(stmt, ast.Expr):
+            self._visit_expr(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._visit_target(target)
+        elif isinstance(stmt, ast.If):
+            self._visit_expr(stmt.test)
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.While,)):
+            loop_id = self._enter_loop()
+            self._visit_expr(stmt.test)
+            self._visit_stmts(stmt.body)
+            self._exit_loop()
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_expr(stmt.iter)
+            if isinstance(stmt, ast.AsyncFor):
+                self._bump_epoch(stmt)
+            loop_id = self._enter_loop()
+            self._visit_target(stmt.target)
+            self._visit_stmts(stmt.body)
+            self._exit_loop()
+            self._visit_stmts(stmt.orelse)
+            del loop_id
+        elif isinstance(stmt, ast.Try):
+            self._visit_stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_stmts(handler.body)
+            self._visit_stmts(stmt.orelse)
+            self._visit_stmts(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            is_lock = False
+            for item in stmt.items:
+                self._visit_expr(item.context_expr)
+                name = dotted_name(item.context_expr)
+                if name is None and isinstance(item.context_expr, ast.Call):
+                    name = dotted_name(item.context_expr.func)
+                if name is not None and self.index is not None and \
+                        self.index.is_lock(self.class_name, name):
+                    is_lock = True
+            if isinstance(stmt, ast.AsyncWith):
+                self._bump_epoch(stmt)  # __aenter__ awaits
+            if is_lock:
+                self._lock_depth += 1
+            self._visit_stmts(stmt.body)
+            if is_lock:
+                self._lock_depth -= 1
+            if isinstance(stmt, ast.AsyncWith):
+                self._bump_epoch(stmt)  # __aexit__ awaits
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self._visit_expr(sub)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal, ast.Pass,
+                               ast.Break, ast.Continue, ast.Import,
+                               ast.ImportFrom)):
+            pass
+        else:  # pragma: no cover - future statement kinds degrade softly
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self._visit_expr(sub)
+
+    def _enter_loop(self) -> int:
+        loop_id = self._next_loop
+        self._next_loop += 1
+        self._loop_stack.append(loop_id)
+        self.loop_awaits.setdefault(loop_id, False)
+        return loop_id
+
+    def _exit_loop(self) -> None:
+        self._loop_stack.pop()
+
+    # -- targets and expressions ------------------------------------------
+
+    def _visit_target(self, target: ast.expr) -> None:
+        """A store/delete target: emit a write for the mutated binding."""
+        if isinstance(target, ast.Name):
+            self._emit("write", target.id, target)
+        elif isinstance(target, ast.Attribute):
+            name = dotted_name(target)
+            if name is not None:
+                self._emit("write", name, target)
+            else:
+                self._visit_expr(target.value)
+        elif isinstance(target, ast.Subscript):
+            # ``self.x[k] = v`` mutates self.x: a write, with the
+            # receiver's incidental read suppressed (one atomic access).
+            name = dotted_name(target.value)
+            self._visit_expr(target.slice)
+            if name is not None:
+                self._emit("write", name, target)
+            else:
+                self._visit_expr(target.value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._visit_target(elt)
+        elif isinstance(target, ast.Starred):
+            self._visit_target(target.value)
+
+    def _visit_expr(self, node: ast.expr, force_load: bool = False) -> None:
+        if isinstance(node, ast.Await):
+            self._visit_expr(node.value)
+            self._emit_await_name(node.value)
+            self._bump_epoch(node)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # deferred execution
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            # Comprehensions run inline: walk iterables and element exprs.
+            for gen in node.generators:
+                self._visit_expr(gen.iter)
+                for cond in gen.ifs:
+                    self._visit_expr(cond)
+            if isinstance(node, ast.DictComp):
+                self._visit_expr(node.key)
+                self._visit_expr(node.value)
+            else:
+                self._visit_expr(node.elt)
+            return
+        if isinstance(node, ast.Call):
+            func_name = dotted_name(node.func, self.module.aliases)
+            raw_name = dotted_name(node.func)
+            self._pos += 1
+            self.events.append(FlowEvent(
+                kind="call", name=func_name or raw_name, node=node,
+                epoch=self._epoch, lock_depth=self._lock_depth,
+                loop_id=self._loop_stack[-1] if self._loop_stack else None,
+                position=self._pos,
+            ))
+            mutator = (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATORS
+            )
+            if mutator:
+                recv = dotted_name(node.func.value)
+                if recv is not None:
+                    self._emit("write", recv, node)
+                else:
+                    self._visit_expr(node.func.value)
+            else:
+                self._visit_expr(node.func)
+            for arg in node.args:
+                self._visit_expr(arg)
+            for kw in node.keywords:
+                self._visit_expr(kw.value)
+            return
+        if isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name is not None:
+                self._emit("read", name, node)
+                # Also surface the base object read (``self.q`` for
+                # ``self.q.depth``) so prefix queries need no parsing.
+                return
+            self._visit_expr(node.value)
+            return
+        if isinstance(node, ast.Name):
+            self._emit("read", node.id, node)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+
+    def _emit_await_name(self, value: ast.expr) -> None:
+        """Record ``await <task-handle>`` shapes: a bare name/attr, or a
+        handle passed through ``wait_for``/``shield``/``wait``/``gather``."""
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            name = dotted_name(value)
+            if name is not None:
+                self._emit("await_name", name, value)
+            return
+        if isinstance(value, ast.Call):
+            func = dotted_name(value.func) or ""
+            tail = func.rsplit(".", 1)[-1]
+            if tail in ("wait_for", "shield", "wait", "gather"):
+                for arg in value.args:
+                    if isinstance(arg, ast.Starred):
+                        arg = arg.value
+                    if isinstance(arg, (ast.Name, ast.Attribute)):
+                        name = dotted_name(arg)
+                        if name is not None:
+                            self._emit("await_name", name, arg)
+
+    # -- queries -----------------------------------------------------------
+
+    def attribute_events(self, prefix: str = "self.") -> List[FlowEvent]:
+        return [
+            ev for ev in self.events
+            if ev.kind in ("read", "write") and ev.name is not None
+            and ev.name.startswith(prefix)
+        ]
+
+    def await_count(self) -> int:
+        return self._epoch
+
+
+class TaintEnv:
+    """Intra-function determinism-taint tracking (RPL010).
+
+    Sources are wall-clock reads, OS randomness, ``id()``, ``uuid``
+    generation and iteration over unordered ``set`` values; sanitizers
+    (``sorted``/``len``/``min``/``max``) clear taint; everything else
+    propagates through expressions and simple assignments.
+    """
+
+    SOURCES = frozenset(
+        {
+            "time.time", "time.time_ns", "time.monotonic",
+            "time.monotonic_ns", "time.perf_counter",
+            "time.perf_counter_ns", "time.process_time",
+            "time.process_time_ns", "datetime.datetime.now",
+            "datetime.datetime.utcnow", "datetime.datetime.today",
+            "os.urandom", "os.getpid", "uuid.uuid1", "uuid.uuid4",
+            "secrets.token_bytes", "secrets.token_hex", "id",
+        }
+    )
+    SANITIZERS = frozenset({"sorted", "len", "min", "max", "repr"})
+
+    def __init__(self, aliases: Dict[str, str]):
+        self.aliases = aliases
+        self.tainted: Set[str] = set()
+
+    # -- expression classification ----------------------------------------
+
+    def _call_name(self, node: ast.Call) -> str:
+        return dotted_name(node.func, self.aliases) or ""
+
+    def is_unordered(self, node: ast.expr) -> bool:
+        """Set displays/comprehensions and ``set()``/``frozenset()``
+        calls: iteration order is id-dependent across processes."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            tail = self._call_name(node).rsplit(".", 1)[-1]
+            if tail in ("set", "frozenset"):
+                return True
+            if tail in ("list", "tuple", "iter", "reversed") and node.args:
+                return self.is_unordered(node.args[0])
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        return False
+
+    def expr_tainted(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Call):
+            name = self._call_name(node)
+            tail = name.rsplit(".", 1)[-1]
+            if name in self.SOURCES or tail in ("urandom", "uuid1", "uuid4"):
+                return True
+            if tail in self.SANITIZERS:
+                return False
+            if tail in ("list", "tuple") and node.args and \
+                    self.is_unordered(node.args[0]):
+                return True
+            return any(self.expr_tainted(a) for a in node.args) or any(
+                self.expr_tainted(kw.value) for kw in node.keywords)
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            base = dotted_name(node)
+            if base is not None:
+                return base.split(".", 1)[0] in self.tainted
+            return self.expr_tainted(node.value)
+        if isinstance(node, ast.Await):
+            return self.expr_tainted(node.value)
+        if isinstance(node, (ast.Lambda, ast.Constant)):
+            return False
+        return any(
+            self.expr_tainted(child)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.expr)
+        )
+
+    # -- statement-level propagation --------------------------------------
+
+    def assign(self, targets: Iterable[ast.expr], tainted: bool) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if tainted:
+                    self.tainted.add(target.id)
+                else:
+                    self.tainted.discard(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                self.assign(target.elts, tainted)
+            elif isinstance(target, ast.Starred):
+                self.assign([target.value], tainted)

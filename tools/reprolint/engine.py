@@ -1,10 +1,22 @@
 """reprolint core: file walking, suppression handling, rule dispatch.
 
 A rule is an object with an ``id``, a one-line ``rationale`` and a
-``check(tree, path, config) -> iterable[Violation]`` method (see
-:mod:`tools.reprolint.rules`).  The engine parses each file once, runs
-every rule whose configured scope matches the file, and filters the
-resulting violations through the suppression comments:
+``check(module, config, index) -> iterable[Violation]`` method (see
+:mod:`tools.reprolint.rules`).  Linting runs in two tiers:
+
+1. every file is parsed once into a :class:`~tools.reprolint.dataflow.ModuleInfo`
+   (AST + import aliases + ``atomic-section`` annotations);
+2. a project-wide :class:`~tools.reprolint.dataflow.ProjectIndex` is
+   built over *all* parsed modules (class attribute kinds, frozen wire
+   types), then every rule whose configured scope matches the file runs
+   with both the module and the shared index in hand.
+
+Single-pass rules (RPL001–006) only look at ``module.tree``; the
+dataflow rules (RPL007–011) use the index so that e.g. a
+read-modify-write of ``self.queue._heap`` in ``service.py`` resolves
+through the ``WorkQueue`` class defined in ``queue.py``.
+
+Violations are filtered through the suppression comments:
 
 * ``# reprolint: disable=RPL001`` (or ``disable=RPL001,RPL005``) on the
   offending line suppresses those rules for that line only;
@@ -13,7 +25,10 @@ resulting violations through the suppression comments:
 * ``disable=all`` / ``disable-file=all`` suppress every rule.
 
 Suppressions are deliberately line-anchored (no block form): every
-exemption stays visible next to the code it excuses.
+exemption stays visible next to the code it excuses.  The separate
+``# reprolint: atomic-section`` annotation is not a suppression — it is
+an RPL008-specific marker for a reviewed read-modify-write that spans an
+await on purpose (see docs/CHECKS.md).
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .config import Config, iter_python_files, load_config
+from .dataflow import ModuleInfo, ProjectIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .rules import Rule
@@ -87,44 +103,75 @@ def _suppressed(
     return "ALL" in line_ids or violation.rule_id in line_ids
 
 
+def _relative_posix(path: Path, root: Path | None) -> str:
+    try:
+        rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_module(
+    path: Path, root: Path | None
+) -> tuple[ModuleInfo | None, Violation | None]:
+    """Parse one file: (module, None) on success, (None, RPL000) on a
+    syntax error."""
+    posix = _relative_posix(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Violation(
+            rule_id="RPL000",
+            path=posix,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleInfo.build(posix, tree, source), None
+
+
+def _lint_module(
+    module: ModuleInfo,
+    config: Config,
+    rules: Sequence["Rule"],
+    index: ProjectIndex,
+) -> list[Violation]:
+    per_line, whole_file = parse_suppressions(module.source)
+    out: list[Violation] = []
+    for rule in rules:
+        if not config.scope_for(rule.id).matches(module.path):
+            continue
+        for violation in rule.check(module, config, index):
+            if not _suppressed(violation, per_line, whole_file):
+                out.append(violation)
+    return sorted(out, key=lambda v: (v.line, v.col, v.rule_id))
+
+
 def lint_file(
     path: Path,
     config: Config | None = None,
     rules: Sequence["Rule"] | None = None,
     root: Path | None = None,
+    index: ProjectIndex | None = None,
 ) -> list[Violation]:
-    """Lint one file; returns unsuppressed violations sorted by location."""
+    """Lint one file; returns unsuppressed violations sorted by location.
+
+    Without an ``index``, one is built from this file alone — cross-file
+    attribute resolution (``self.queue._heap``) only works through
+    :func:`lint_paths`, which indexes every file first.
+    """
     from .rules import ALL_RULES
 
     config = config or load_config(root)
     rules = rules if rules is not None else ALL_RULES
-    try:
-        rel = path.resolve().relative_to((root or Path.cwd()).resolve())
-        posix = rel.as_posix()
-    except ValueError:
-        posix = path.as_posix()
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Violation(
-                rule_id="RPL000",
-                path=posix,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    per_line, whole_file = parse_suppressions(source)
-    out: list[Violation] = []
-    for rule in rules:
-        if not config.scope_for(rule.id).matches(posix):
-            continue
-        for violation in rule.check(tree, posix, config):
-            if not _suppressed(violation, per_line, whole_file):
-                out.append(violation)
-    return sorted(out, key=lambda v: (v.line, v.col, v.rule_id))
+    module, syntax_error = _parse_module(path, root)
+    if syntax_error is not None:
+        return [syntax_error]
+    assert module is not None
+    if index is None:
+        index = ProjectIndex.build([module])
+    return _lint_module(module, config, rules, index)
 
 
 def lint_paths(
@@ -133,9 +180,25 @@ def lint_paths(
     rules: Sequence["Rule"] | None = None,
     root: Path | None = None,
 ) -> list[Violation]:
-    """Lint files/directories; returns all unsuppressed violations."""
+    """Lint files/directories; returns all unsuppressed violations.
+
+    Two-phase: parse every file first, build the shared project index,
+    then run the rules — so dataflow rules see attribute definitions
+    from files other than the one they are checking.
+    """
+    from .rules import ALL_RULES
+
     config = config or load_config(root)
+    rules = rules if rules is not None else ALL_RULES
+    modules: list[ModuleInfo] = []
     out: list[Violation] = []
     for path in iter_python_files([Path(p) for p in paths], config.exclude):
-        out.extend(lint_file(path, config=config, rules=rules, root=root))
+        module, syntax_error = _parse_module(path, root)
+        if syntax_error is not None:
+            out.append(syntax_error)
+        elif module is not None:
+            modules.append(module)
+    index = ProjectIndex.build(modules)
+    for module in modules:
+        out.extend(_lint_module(module, config, rules, index))
     return out

@@ -13,10 +13,25 @@ RPL004    Types crossing the multiprocessing boundary are frozen, slotted
 RPL005    Blocking queue/pipe reads in ``distributed/`` always carry a
           timeout (the hang class PR 1 eliminated).
 RPL006    No bare or silent ``except`` handlers.
+RPL007    No blocking calls (``time.sleep``, sync ``queue.get``, file/
+          socket/subprocess ops) inside ``async def`` — they stall the
+          whole event loop.
+RPL008    No read-modify-write of shared service state spanning an
+          ``await`` without a lock or ``# reprolint: atomic-section``.
+RPL009    Every ``asyncio.create_task`` handle is retained and awaited
+          (or cancelled *and* awaited) — no fire-and-forget tasks.
+RPL010    Determinism taint: wall-clock / ``os.urandom`` / ``id()`` /
+          unordered-set values never flow into wire types, job results
+          or persisted records.
+RPL011    ``except`` handlers in async code never swallow
+          ``asyncio.CancelledError``.
 ========  ====================================================================
 
-Each rule's full rationale — the bug it prevents and the PR that
-established the invariant — is catalogued in ``docs/CHECKS.md``.
+RPL001–006 are single-pass (one AST walk over the file); RPL007–011 are
+the dataflow tier, built on :mod:`tools.reprolint.dataflow`'s
+await-epoch flow walk and project-wide attribute index.  Each rule's
+full rationale — the bug it prevents and the PR that established the
+invariant — is catalogued in ``docs/CHECKS.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +40,14 @@ import ast
 from typing import Iterator, Sequence
 
 from .config import Config
+from .dataflow import (
+    FunctionFlow,
+    ModuleInfo,
+    ProjectIndex,
+    TaintEnv,
+    dotted_name,
+    iter_functions,
+)
 from .engine import Violation
 
 __all__ = ["Rule", "ALL_RULES", "rule_ids"]
@@ -32,14 +55,15 @@ __all__ = ["Rule", "ALL_RULES", "rule_ids"]
 
 class Rule:
     """Base class: subclasses set ``id``/``title``/``rationale`` and
-    implement :meth:`check`."""
+    implement :meth:`check`, receiving the parsed module plus the shared
+    project index."""
 
     id = "RPL000"
     title = "abstract rule"
     rationale = ""
 
     def check(
-        self, tree: ast.Module, path: str, config: Config
+        self, module: ModuleInfo, config: Config, index: ProjectIndex
     ) -> Iterator[Violation]:
         raise NotImplementedError
 
@@ -109,7 +133,8 @@ class NoGlobalRngRule(Rule):
         }
     )
 
-    def check(self, tree, path, config):
+    def check(self, module, config, index):
+        tree, path = module.tree, module.path
         aliases = _import_map(tree)
         stdlib_random_aliases = {
             alias
@@ -181,7 +206,8 @@ class NoWallClockRule(Rule):
         }
     )
 
-    def check(self, tree, path, config):
+    def check(self, module, config, index):
+        tree, path = module.tree, module.path
         aliases = _import_map(tree)
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.module in (
@@ -223,7 +249,8 @@ class NoRawDistanceRule(Rule):
     METHODS = frozenset({"dist", "dist_many", "distance_matrix"})
     INSTANCE_PARAMS = frozenset({"instance", "inst"})
 
-    def check(self, tree, path, config):
+    def check(self, module, config, index):
+        tree, path = module.tree, module.path
         matrix_ok = config.matrix_ok_for(path)
         for fn in ast.walk(tree):
             if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -290,7 +317,8 @@ class WireTypeRule(Rule):
         "mutable state across the process boundary."
     )
 
-    def check(self, tree, path, config):
+    def check(self, module, config, index):
+        tree, path = module.tree, module.path
         wire_classes = set(config.wire_classes_for(path))
         if not wire_classes:
             return
@@ -416,7 +444,8 @@ class QueueTimeoutRule(Rule):
         "forever, so awaited gets must be wrapped in a finite wait_for."
     )
 
-    def check(self, tree, path, config):
+    def check(self, module, config, index):
+        tree, path = module.tree, module.path
         guarded = self._wait_for_guarded(tree)
         for node in ast.walk(tree):
             if not (
@@ -515,7 +544,8 @@ class NoSilentExceptRule(Rule):
 
     BROAD = frozenset({"Exception", "BaseException"})
 
-    def check(self, tree, path, config):
+    def check(self, module, config, index):
+        tree, path = module.tree, module.path
         for node in ast.walk(tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -554,6 +584,531 @@ class NoSilentExceptRule(Rule):
         return True
 
 
+# ---------------------------------------------------------------------------
+# dataflow tier (RPL007–011)
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Every node in ``fn``'s body except those inside nested
+    functions/classes/lambdas (which execute at an unknown time and are
+    analyzed as scopes of their own)."""
+    stack: list[ast.AST] = list(getattr(fn, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+
+
+def _call_tail(node: ast.Call, aliases: dict[str, str]) -> str:
+    dotted = dotted_name(node.func, aliases) or dotted_name(node.func) or ""
+    return dotted.rsplit(".", 1)[-1]
+
+
+class NoBlockingAsyncRule(Rule):
+    """RPL007 — no blocking calls inside ``async def``."""
+
+    id = "RPL007"
+    title = "no blocking calls on the event loop"
+    rationale = (
+        "A synchronous sleep, queue read, file open or subprocess wait "
+        "inside a coroutine stalls the *entire* event loop: every other "
+        "job's slice, every stream, every client connection freezes for "
+        "the duration.  Use the asyncio equivalent (asyncio.sleep, "
+        "asyncio.Queue) or push the call off-loop via asyncio.to_thread "
+        "/ run_in_executor."
+    )
+
+    BLOCKING = frozenset(
+        {
+            "time.sleep", "os.system", "os.wait", "os.waitpid",
+            "subprocess.run", "subprocess.call", "subprocess.check_call",
+            "subprocess.check_output", "subprocess.Popen",
+            "socket.create_connection", "socket.socket",
+            "urllib.request.urlopen", "input", "open",
+        }
+    )
+    #: Receivers constructed from these classes make `.join()`/`.start()`
+    #: blocking (spawn + pickling for Process.start, unbounded or bounded
+    #: wall-clock block for join).
+    PROCLIKE = frozenset({"Process", "Thread"})
+
+    def check(self, module, config, index):
+        for fn, _cls in iter_functions(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            proclike = {
+                tgt.id
+                for node in _own_nodes(fn)
+                if isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and _call_tail(node.value, module.aliases) in self.PROCLIKE
+                for tgt in node.targets
+                if isinstance(tgt, ast.Name)
+            }
+            for node in _own_nodes(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func, module.aliases)
+                if dotted in self.BLOCKING:
+                    yield self.violation(
+                        module.path, node,
+                        f"blocking call {dotted}() inside 'async def "
+                        f"{fn.name}' stalls the event loop; use the "
+                        "asyncio equivalent or asyncio.to_thread",
+                    )
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                attr = node.func.attr
+                if attr == "get" and self._sync_queue_get(node):
+                    yield self.violation(
+                        module.path, node,
+                        f"synchronous queue get() inside 'async def "
+                        f"{fn.name}' blocks the event loop; wrap it in "
+                        "asyncio.to_thread (or use an asyncio.Queue)",
+                    )
+                elif attr in ("join", "start") and isinstance(
+                    node.func.value, ast.Name
+                ) and node.func.value.id in proclike:
+                    yield self.violation(
+                        module.path, node,
+                        f"blocking {node.func.value.id}.{attr}() inside "
+                        f"'async def {fn.name}' stalls the event loop; "
+                        "wrap it in asyncio.to_thread",
+                    )
+
+    @staticmethod
+    def _sync_queue_get(node: ast.Call) -> bool:
+        """The sync ``queue.Queue.get(block, timeout)`` signature —
+        distinguishable from ``dict.get(key, default)`` (non-bool first
+        arg) and ``asyncio.Queue.get()`` (no args)."""
+        for kw in node.keywords:
+            if kw.arg in ("timeout", "block"):
+                return True
+        return bool(
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, bool)
+        )
+
+
+class AwaitRmwRule(Rule):
+    """RPL008 — no read-modify-write of shared state across an await."""
+
+    id = "RPL008"
+    title = "no read-modify-write of shared state across an await"
+    rationale = (
+        "Every await is a scheduling point: any other coroutine may run "
+        "and mutate shared service state between a read and the write "
+        "derived from it.  The classic lost-update — check self.jobs, "
+        "await something, then write self.jobs based on the stale read — "
+        "only bites under a hostile interleaving, which is exactly what "
+        "the schedule fuzzer generates.  Hold an asyncio.Lock across the "
+        "sequence, restructure to read-after-await, or annotate a "
+        "reviewed exception with '# reprolint: atomic-section'."
+    )
+
+    def check(self, module, config, index):
+        for fn, cls in iter_functions(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            cls_name = cls.name if cls is not None else None
+            flow = FunctionFlow(fn, module, index, cls_name)
+            if flow.await_count() == 0:
+                continue
+            by_name: dict[str, list] = {}
+            for ev in flow.attribute_events():
+                if ev.name and index.shared_state(cls_name, ev.name):
+                    by_name.setdefault(ev.name, []).append(ev)
+            for name, evs in by_name.items():
+                yield from self._check_name(module, fn, flow, name, evs)
+
+    def _check_name(self, module, fn, flow, name, evs):
+        reads = [e for e in evs if e.kind == "read" and not e.lock_depth]
+        writes = [e for e in evs if e.kind == "write" and not e.lock_depth]
+        for r in reads:
+            for w in writes:
+                if w.position > r.position and w.epoch > r.epoch:
+                    if self._atomic(module, fn, r, w):
+                        return
+                    yield self.violation(
+                        module.path, w.node,
+                        f"read of shared {name!r} (line "
+                        f"{r.node.lineno}) and this write span an "
+                        "await without a lock; any interleaved "
+                        "coroutine may have mutated it — hold a lock "
+                        "or annotate '# reprolint: atomic-section'",
+                    )
+                    return
+        # Cyclic form: a loop whose body crosses an await and both
+        # reads and writes the name — iteration i's write races with
+        # iteration i+1's read.
+        for loop_id, has_await in flow.loop_awaits.items():
+            if not has_await:
+                continue
+            lr = [e for e in reads if e.loop_id == loop_id]
+            lw = [e for e in writes if e.loop_id == loop_id]
+            if lr and lw and not self._atomic(module, fn, lr[0], lw[0]):
+                yield self.violation(
+                    module.path, lw[0].node,
+                    f"loop body reads and writes shared {name!r} across "
+                    "an await; state may shift between iterations — "
+                    "hold a lock or annotate "
+                    "'# reprolint: atomic-section'",
+                )
+                return
+
+    @staticmethod
+    def _atomic(module, fn, r, w) -> bool:
+        lines = {fn.lineno, r.node.lineno, w.node.lineno}
+        return bool(lines & module.atomic_lines)
+
+
+class TaskRetentionRule(Rule):
+    """RPL009 — create_task handles are retained and awaited."""
+
+    id = "RPL009"
+    title = "no fire-and-forget tasks"
+    rationale = (
+        "A dropped asyncio.Task handle is a task whose exception vanishes "
+        "into 'Task exception was never retrieved' at garbage-collection "
+        "time — or never; and a cancelled task that is not awaited may be "
+        "destroyed while pending, skipping its finally blocks (the "
+        "close() leak this rule was built to catch).  Store every handle, "
+        "and after cancel(), await the task (expecting CancelledError) so "
+        "cleanup actually runs."
+    )
+
+    CREATORS = frozenset({"create_task", "ensure_future"})
+
+    def check(self, module, config, index):
+        for fn, cls in iter_functions(module.tree):
+            cls_name = cls.name if cls is not None else None
+            yield from self._check_fn(module, index, fn, cls_name)
+
+    def _check_fn(self, module, index, fn, cls_name):
+        aliases = module.aliases
+        # (a) bare-expression create_task: the handle is discarded on
+        # the spot.
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Expr) and isinstance(
+                node.value, ast.Call
+            ) and _call_tail(node.value, aliases) in self.CREATORS:
+                yield self.violation(
+                    module.path, node,
+                    "create_task() result discarded — a fire-and-forget "
+                    "task whose exceptions vanish; store the handle and "
+                    "await or cancel-and-await it",
+                )
+        # (b) locals bound to a new task but never read again.
+        created: dict[str, ast.AST] = {}
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ) and _call_tail(node.value, aliases) in self.CREATORS:
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    created[node.targets[0].id] = node
+        for name, node in created.items():
+            loads = [
+                n for n in _own_nodes(fn)
+                if isinstance(n, ast.Name) and n.id == name
+                and isinstance(n.ctx, ast.Load)
+            ]
+            if not loads:
+                yield self.violation(
+                    module.path, node,
+                    f"task handle {name!r} is never awaited, stored or "
+                    "passed on; a dropped handle is a fire-and-forget "
+                    "task",
+                )
+        # (c) cancel() without a subsequent await of the same handle.
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            return
+        flow = FunctionFlow(fn, module, index, cls_name)
+        awaited = [
+            ev for ev in flow.events if ev.kind == "await_name" and ev.name
+        ]
+        tasklike = set(created) | {ev.name for ev in awaited} | {
+            name
+            for node in _own_nodes(fn)
+            if isinstance(node, (ast.For, ast.AsyncFor))
+            and isinstance(node.target, ast.Name)
+            for name in [node.target.id]
+            if self._iterates_tasks(node.iter)
+        }
+        for ev in flow.events:
+            if ev.kind != "call" or not ev.name or not ev.name.endswith(
+                ".cancel"
+            ):
+                continue
+            recv = ev.name[: -len(".cancel")]
+            if recv not in tasklike and not index.is_task_attr(
+                cls_name, recv
+            ):
+                continue
+            if any(
+                a.name == recv and a.position > ev.position for a in awaited
+            ):
+                continue
+            yield self.violation(
+                module.path, ev.node,
+                f"{recv}.cancel() without awaiting the cancelled task; "
+                "it may be destroyed while pending and its finally "
+                "blocks never run — 'await' it and absorb "
+                "CancelledError",
+            )
+
+    @staticmethod
+    def _iterates_tasks(iter_node: ast.expr) -> bool:
+        for sub in ast.walk(iter_node):
+            if isinstance(sub, ast.Attribute) and "task" in sub.attr.lower():
+                return True
+            if isinstance(sub, ast.Name) and "task" in sub.id.lower():
+                return True
+        return False
+
+
+class DeterminismTaintRule(Rule):
+    """RPL010 — nondeterministic values must not reach persisted state."""
+
+    id = "RPL010"
+    title = "determinism taint must not reach results or the wire"
+    rationale = (
+        "The service's contract is that a job with seed S is bit-identical "
+        "to solve(rng=S).  Wall-clock reads, os.urandom, id() and "
+        "unordered set iteration are all fine for *bookkeeping* (latency "
+        "metrics, log lines) but the moment one flows into a wire type, a "
+        "JobRecord result or a persisted run file, reproducibility is "
+        "gone and no test that compares two runs can tell you why."
+    )
+
+    PERSIST_TAILS = frozenset(
+        {"run_to_json", "save_jobs", "save_run", "save_trace", "write_trace"}
+    )
+    SINK_ATTRS = frozenset({"result"})
+
+    def check(self, module, config, index):
+        wire_names = index.wire_type_names()
+        for classes in config.wire_types.values():
+            wire_names |= set(classes)
+        for fn, _cls in iter_functions(module.tree):
+            env = TaintEnv(module.aliases)
+            yield from self._walk(fn.body, env, wire_names, module)
+
+    def _walk(self, stmts, env, wire_names, module):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for value in self._stmt_exprs(stmt):
+                yield from self._check_sinks(value, env, wire_names, module)
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = stmt.value
+                if value is None:
+                    continue
+                tainted = env.expr_tainted(value) or env.is_unordered(value)
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                if isinstance(stmt, ast.AugAssign):
+                    tainted = tainted or env.expr_tainted(stmt.target)
+                for target in targets:
+                    if tainted and isinstance(target, ast.Attribute) and \
+                            target.attr in self.SINK_ATTRS:
+                        name = dotted_name(target) or target.attr
+                        yield self.violation(
+                            module.path, stmt,
+                            f"nondeterministic value assigned to {name!r} "
+                            "(a persisted result field); results must be "
+                            "pure functions of the instance and seed",
+                        )
+                env.assign(targets, tainted)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                if env.is_unordered(stmt.iter):
+                    env.assign([stmt.target], True)
+                yield from self._walk(stmt.body, env, wire_names, module)
+                yield from self._walk(stmt.orelse, env, wire_names, module)
+            elif isinstance(stmt, ast.While):
+                yield from self._walk(stmt.body, env, wire_names, module)
+                yield from self._walk(stmt.orelse, env, wire_names, module)
+            elif isinstance(stmt, ast.If):
+                yield from self._walk(stmt.body, env, wire_names, module)
+                yield from self._walk(stmt.orelse, env, wire_names, module)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from self._walk(stmt.body, env, wire_names, module)
+            elif isinstance(stmt, ast.Try):
+                yield from self._walk(stmt.body, env, wire_names, module)
+                for handler in stmt.handlers:
+                    yield from self._walk(
+                        handler.body, env, wire_names, module)
+                yield from self._walk(stmt.orelse, env, wire_names, module)
+                yield from self._walk(
+                    stmt.finalbody, env, wire_names, module)
+
+    @staticmethod
+    def _stmt_exprs(stmt):
+        """Expressions evaluated by a simple statement (for sink scan)."""
+        if isinstance(stmt, ast.Expr):
+            return [stmt.value]
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)) or (
+            isinstance(stmt, ast.AnnAssign) and stmt.value is not None
+        ):
+            return [stmt.value]
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return [stmt.value]
+        return []
+
+    def _check_sinks(self, expr, env, wire_names, module):
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _call_tail(node, module.aliases)
+            sink = None
+            if tail in wire_names:
+                sink = f"wire type {tail}"
+            elif tail in self.PERSIST_TAILS:
+                sink = f"persistence call {tail}()"
+            elif tail == "append" and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Attribute) \
+                    and node.func.value.attr == "incumbents":
+                sink = "the incumbents record"
+            if sink is None:
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in args:
+                if env.expr_tainted(arg) or env.is_unordered(arg):
+                    yield self.violation(
+                        module.path, node,
+                        f"nondeterministic value flows into {sink}; "
+                        "wall-clock/urandom/id()/set-order data must "
+                        "stay out of persisted state (sort or derive "
+                        "from the seeded RNG instead)",
+                    )
+                    break
+
+
+class CancelSwallowRule(Rule):
+    """RPL011 — async except handlers must not swallow CancelledError."""
+
+    id = "RPL011"
+    title = "never swallow CancelledError"
+    rationale = (
+        "asyncio cancellation is cooperative: CancelledError must "
+        "propagate for cancel()/timeout/shutdown to terminate a "
+        "coroutine.  A handler that catches it (explicitly, bare, or via "
+        "BaseException) and does not re-raise produces unkillable tasks "
+        "— close() hangs forever on them.  'except Exception' is fine "
+        "(CancelledError derives from BaseException since 3.8); the one "
+        "sanctioned swallow is the reap pattern: awaiting a task you "
+        "just cancelled yourself."
+    )
+
+    def check(self, module, config, index):
+        for fn, _cls in iter_functions(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            cancels = [
+                (node.lineno, dotted_name(node.func.value))
+                for node in _own_nodes(fn)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "cancel"
+            ]
+            for node in _own_nodes(fn):
+                if isinstance(node, ast.Try):
+                    for handler in node.handlers:
+                        if not self._catches_cancelled(handler.type):
+                            continue
+                        if self._reraises(handler.body):
+                            continue
+                        if self._is_reap(node, cancels):
+                            continue
+                        yield self.violation(
+                            module.path, handler,
+                            "handler swallows asyncio.CancelledError — "
+                            "the task becomes uncancellable; re-raise "
+                            "it (cleanup, then 'raise'), or narrow the "
+                            "except to the exceptions you mean",
+                        )
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if self._suppresses_cancelled(item.context_expr):
+                            yield self.violation(
+                                module.path, item.context_expr,
+                                "contextlib.suppress over "
+                                "CancelledError makes the task "
+                                "uncancellable; re-raise instead",
+                            )
+
+    def _catches_cancelled(self, type_node) -> bool:
+        if type_node is None:
+            return True  # bare except catches everything
+        if isinstance(type_node, (ast.Name, ast.Attribute)):
+            tail = getattr(type_node, "id", None) or getattr(
+                type_node, "attr", None)
+            return tail in ("CancelledError", "BaseException")
+        if isinstance(type_node, ast.Tuple):
+            return any(self._catches_cancelled(e) for e in type_node.elts)
+        return False
+
+    @staticmethod
+    def _reraises(body) -> bool:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Raise):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_reap(try_node: ast.Try, cancels) -> bool:
+        """The sanctioned swallow: every await in the try body is a bare
+        await of a handle that was ``.cancel()``ed earlier in the
+        function — reaping your own cancellation."""
+        awaited: list[str] = []
+        for stmt in try_node.body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Await):
+                    continue
+                value = sub.value
+                if isinstance(value, ast.Call):
+                    tail = (dotted_name(value.func) or "").rsplit(
+                        ".", 1)[-1]
+                    if tail in ("wait_for", "shield") and value.args:
+                        value = value.args[0]
+                name = dotted_name(value)
+                if name is None:
+                    return False  # awaiting something unreapable
+                awaited.append(name)
+        if not awaited:
+            return False
+        cancelled_before = {
+            recv for lineno, recv in cancels
+            if recv is not None and lineno < try_node.lineno
+        }
+        return all(name in cancelled_before for name in awaited)
+
+    def _suppresses_cancelled(self, expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        tail = (dotted_name(expr.func) or "").rsplit(".", 1)[-1]
+        if tail != "suppress":
+            return False
+        return any(
+            (dotted_name(arg) or "").rsplit(".", 1)[-1] == "CancelledError"
+            for arg in expr.args
+        )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     NoGlobalRngRule(),
     NoWallClockRule(),
@@ -561,6 +1116,11 @@ ALL_RULES: tuple[Rule, ...] = (
     WireTypeRule(),
     QueueTimeoutRule(),
     NoSilentExceptRule(),
+    NoBlockingAsyncRule(),
+    AwaitRmwRule(),
+    TaskRetentionRule(),
+    DeterminismTaintRule(),
+    CancelSwallowRule(),
 )
 
 
