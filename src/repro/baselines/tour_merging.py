@@ -45,7 +45,9 @@ class TourMergingResult:
         return self.tour.length
 
 
-def union_candidate_lists(instance, tours: list[Tour]) -> np.ndarray:
+def union_candidate_lists(
+    instance, tours: list[Tour], extra_edges=None
+) -> np.ndarray:
     """Adjacency lists of the union graph of the tours' edges.
 
     Rows are padded to equal width so the LK engine can consume them
@@ -53,6 +55,12 @@ def union_candidate_lists(instance, tours: list[Tour]) -> np.ndarray:
     short rows repeat their *farthest* entry, which keeps the
     distance-sorted-row invariant intact (cycling from the nearest one
     would not).
+
+    ``extra_edges`` (an ``(m, 2)`` integer array) unions additional
+    pairs into the graph — the divide-and-optimize boundary repair
+    (:mod:`repro.divide.repair`) passes the partition's cross-region
+    edges here so restricted local search can move across seams the
+    region tours never saw.
     """
     n = instance.n
     adj: list[set[int]] = [set() for _ in range(n)]
@@ -60,6 +68,10 @@ def union_candidate_lists(instance, tours: list[Tour]) -> np.ndarray:
         order = tour.order
         nxt = np.roll(order, -1)
         for a, b in zip(order, nxt):
+            adj[int(a)].add(int(b))
+            adj[int(b)].add(int(a))
+    if extra_edges is not None:
+        for a, b in np.asarray(extra_edges, dtype=np.int64):
             adj[int(a)].add(int(b))
             adj[int(b)].add(int(a))
     width = max(len(s) for s in adj)

@@ -79,7 +79,8 @@ def _trace_to(path):
     with use_tracer(tracer):
         yield
     save_trace(tracer, path)
-    print(f"trace written to {path}")
+    # stderr so --json stdout stays machine-parseable under --trace.
+    print(f"trace written to {path}", file=sys.stderr)
 
 
 def _cmd_solve(args) -> int:
@@ -176,6 +177,72 @@ def _cmd_clk(args) -> int:
         print(f"tour: {result.length} after {result.kicks} kicks "
               f"({result.improvements} improvements, "
               f"{result.work_vsec:.2f} vsec)")
+    if args.out:
+        tsplib.dump_tour(result.tour, args.out, name=inst.name)
+        if not args.json:
+            print(f"tour written to {args.out}")
+    return 0
+
+
+def _cmd_divide(args) -> int:
+    import json
+
+    from .core import solve
+    from .divide import DivideConfig
+
+    inst = resolve_instance(args.instance)
+    config = DivideConfig(
+        region_size=args.region_size,
+        boundary_k=args.boundary_k,
+        backend=args.backend,
+        repair_budget_vsec=args.repair_budget,
+        max_workers=args.workers,
+    )
+    with _trace_to(args.trace):
+        result = solve(
+            inst,
+            budget_vsec_per_node=args.budget,
+            n_nodes=args.nodes,
+            kick=args.kick,
+            kernel=args.kernel,
+            rng=args.seed,
+            divide=config,
+        )
+    part = result.partition
+    sizes = part.region_sizes
+    if args.json:
+        print(json.dumps({
+            "instance": inst.name,
+            "n": inst.n,
+            "regions": int(part.n_regions),
+            "region_size": {
+                "min": int(sizes.min()), "max": int(sizes.max()),
+                "target": args.region_size,
+            },
+            "boundary_edges": int(part.boundary_edges.shape[0]),
+            "naive_length": int(result.naive_length),
+            "stitched_length": int(result.stitched_length),
+            "best_length": int(result.length),
+            "repair_gain": int(result.repair_gain),
+            "regions_vsec": float(result.regions_vsec),
+            "repair_vsec": float(result.repair_vsec),
+            "backend": args.backend,
+            "tour": [int(c) for c in result.tour.order],
+        }, indent=1))
+    else:
+        print(f"instance {inst.name} (n={inst.n})")
+        print(f"partition: {part.n_regions} regions "
+              f"(sizes {int(sizes.min())}..{int(sizes.max())}, "
+              f"target {args.region_size}), "
+              f"{part.boundary_edges.shape[0]} boundary edges")
+        print(f"regions solved: {result.regions_vsec:.2f} vsec total "
+              f"({args.backend} backend, {args.nodes} node(s)/region)")
+        print(f"merge: naive {result.naive_length} -> "
+              f"stitched {result.stitched_length} -> "
+              f"repaired {result.length} "
+              f"(repair gain {result.repair_gain}, "
+              f"{result.repair_vsec:.2f} vsec)")
+        print(f"best tour: {result.length}")
     if args.out:
         tsplib.dump_tour(result.tour, args.out, name=inst.name)
         if not args.json:
@@ -435,6 +502,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the result as JSON (machine-readable)")
     p.set_defaults(func=_cmd_clk)
+
+    p = sub.add_parser(
+        "divide",
+        help="divide-and-optimize for large instances "
+             "(partition / solve regions / repair seams)",
+    )
+    p.add_argument("instance")
+    p.add_argument("--region-size", type=int, default=1200,
+                   help="target cities per region (max leaf size)")
+    p.add_argument("--boundary-k", type=int, default=8,
+                   help="nearest-neighbour depth of the boundary graph")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="CLK nodes per region (>1 runs DistCLK per region)")
+    p.add_argument("--budget", type=float, default=1.0,
+                   help="virtual seconds per region node")
+    p.add_argument("--backend", default="process",
+                   choices=("sim", "process"),
+                   help="run regions in-process (sim) or over a spawn "
+                        "pool (process); results are bit-identical")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool width (default: cpu count)")
+    p.add_argument("--repair-budget", type=float, default=None,
+                   help="vsec budget of the boundary-repair pass "
+                        "(default: 5%% of the total region budget)")
+    p.add_argument("--kick", default="random_walk",
+                   choices=["random", "geometric", "close", "random_walk"])
+    p.add_argument("--kernel", default=None,
+                   choices=("scalar", "row", "vector"),
+                   help="engine scan-kernel tier (default: row, or "
+                        "REPRO_KERNEL); all tiers are bit-identical")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write .tour file")
+    p.add_argument("--trace", default=None,
+                   help="record an observability trace (JSONL) to this path")
+    p.add_argument("--json", action="store_true",
+                   help="print the result as JSON (machine-readable)")
+    p.set_defaults(func=_cmd_divide)
 
     p = sub.add_parser("trace", help="inspect observability traces (JSONL)")
     tsub = p.add_subparsers(dest="trace_command", required=True)

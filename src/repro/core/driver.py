@@ -49,6 +49,7 @@ def solve(
     kick_batch_backend: str = "process",
     kernel: str | None = None,
     rng=None,
+    divide=None,
 ) -> SimulationResult:
     """Solve a TSP instance with the distributed CLK algorithm.
 
@@ -64,7 +65,31 @@ def solve(
     selects the engine scan tier (``"scalar"``/``"row"``/``"vector"``)
     on every node; all tiers are bit-identical, so results do not
     change.  It overrides ``lk_config.kernel`` when both are given.
+
+    ``divide`` switches to the divide-and-optimize pipeline for large
+    instances: pass a :class:`repro.divide.DivideConfig` (or ``True``
+    for defaults) and the instance is spatially partitioned, each
+    region solved as its own session — ``n_nodes`` then means nodes
+    *per region*, ``budget_vsec_per_node`` the budget of each region
+    node — and the seams repaired.  Returns a
+    :class:`repro.divide.DivideResult` instead of a
+    :class:`SimulationResult` (both expose ``best_tour`` /
+    ``best_length``).
     """
+    if divide is not None and divide is not False:
+        from ..divide import DivideConfig, divide_and_optimize
+
+        cfg = divide if isinstance(divide, DivideConfig) else DivideConfig()
+        return divide_and_optimize(
+            instance,
+            cfg,
+            budget_vsec_per_node=budget_vsec_per_node,
+            n_nodes_per_region=n_nodes,
+            kick=kick,
+            lk_config=lk_config,
+            kernel=kernel,
+            rng=rng,
+        )
     session = SolveSession(
         instance,
         budget_vsec_per_node,

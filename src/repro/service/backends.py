@@ -127,12 +127,16 @@ async def run_sim_job(
         await asyncio.sleep(0)
 
 
-def _process_worker(payload: dict, spec, out_queue) -> None:
-    """Worker-process entry point: solve and stream results back.
+def _process_worker(payload: dict, spec, out_queue, cmd_queue,
+                    slice_steps: int = DEFAULT_SLICE_STEPS) -> None:
+    """Worker-process entry point: solve in slices and stream results.
 
     Everything is reported through ``out_queue``: ``("incumbent", vsec,
-    length, node_id)`` as the network best improves, then exactly one of
-    ``("done", run_doc)`` or ``("error", message)``.  A ``_crash`` param
+    length, node_id)`` as the network best improves and ``("progress",
+    delta_vsec)`` after every slice (the supervisor's metering signal),
+    then exactly one of ``("done", run_doc)``, ``("stopped", run_doc |
+    None)`` (graceful stop requested over ``cmd_queue``, carrying the
+    partial result) or ``("error", message)``.  A ``_crash`` param
     hard-exits without reporting — the fault-injection hook the
     supervision tests use to simulate a segfaulting worker.
     """
@@ -149,8 +153,31 @@ def _process_worker(payload: dict, spec, out_queue) -> None:
                            int(node_id)))
 
         session = _build_session(spec, instance, on_incumbent)
-        result = session.run()
-        out_queue.put(("done", run_to_json(result, instance.name)))
+        reported = 0.0
+        while True:
+            done = session.run_steps(slice_steps)
+            delta = session.consumed_vsec - reported
+            reported = session.consumed_vsec
+            if delta > 0.0:
+                out_queue.put(("progress", float(delta)))
+            if done:
+                out_queue.put(
+                    ("done", run_to_json(session.result(), instance.name))
+                )
+                return
+            try:
+                cmd_queue.get_nowait()
+            except queue_mod.Empty:
+                continue
+            # Any command means "stop": drain to a partial result so the
+            # tenant keeps the best tour its budget paid for.
+            partial = _drain_session(session)
+            out_queue.put((
+                "stopped",
+                run_to_json(partial, instance.name)
+                if partial is not None else None,
+            ))
+            return
     except Exception as exc:  # pragma: no cover - exercised via supervision
         out_queue.put(("error", f"{type(exc).__name__}: {exc}"))
 
@@ -163,28 +190,36 @@ async def run_process_job(
     is_cancelled: Optional[Callable[[], bool]] = None,
     charge: Optional[Callable[[float], bool]] = None,
     poll_s: float = DEFAULT_POLL_S,
+    slice_steps: int = DEFAULT_SLICE_STEPS,
 ):
     """Run a job in a supervised spawned process; returns the result.
 
-    The tenant is charged the job's declared cost (budget x nodes) up
-    front — the worker cannot report incremental consumption cheaply, so
-    process-backend budgeting is admission-control rather than metering.
+    Budgeting is *metered*, exactly like the sim backend: the worker
+    solves in ``slice_steps``-sized slices and reports ``("progress",
+    delta_vsec)`` after each one; the supervisor charges the tenant per
+    report, and on exhaustion sends a stop command so the worker drains
+    gracefully to a partial result — :class:`BudgetExhausted` then
+    carries the best tour the budget paid for.  (A cheap zero-charge
+    probe still rejects already-exhausted tenants at admission.)
     Cancellation terminates the worker (no partial result).
     """
     from ..analysis.runio import run_from_json
 
-    if charge is not None and not charge(spec.declared_cost_vsec):
+    if charge is not None and not charge(0.0):
         raise BudgetExhausted(None)
     ctx = multiprocessing.get_context("spawn")
     out_queue = ctx.Queue()
+    cmd_queue = ctx.Queue()
     proc = ctx.Process(
         target=_process_worker,
-        args=(instance.to_payload(), spec, out_queue),
+        args=(instance.to_payload(), spec, out_queue, cmd_queue,
+              slice_steps),
         daemon=True,
     )
     # spawn-start pickles the payload and execs a fresh interpreter —
     # tens of milliseconds of blocking work that belongs off-loop.
     await asyncio.to_thread(proc.start)
+    stop_requested = False
     try:
         while True:
             if is_cancelled is not None and is_cancelled():
@@ -207,7 +242,22 @@ async def run_process_job(
             if kind == "incumbent":
                 if on_incumbent is not None:
                     on_incumbent(msg[1], msg[2], msg[3])
+            elif kind == "progress":
+                overdrawn = charge is not None and not charge(msg[1])
+                if overdrawn and not stop_requested:
+                    # Pace the worker: ask for a graceful drain instead
+                    # of terminating, so a partial result comes back.
+                    cmd_queue.put("stop")
+                    stop_requested = True
+            elif kind == "stopped":
+                partial = (
+                    run_from_json(msg[1], instance)
+                    if msg[1] is not None else None
+                )
+                raise BudgetExhausted(partial)
             elif kind == "done":
+                # The run can finish between the last charge and a stop
+                # request landing; a finished result always wins.
                 return run_from_json(msg[1], instance)
             elif kind == "error":
                 raise WorkerCrashed(f"worker failed: {msg[1]}")
@@ -218,3 +268,4 @@ async def run_process_job(
             proc.terminate()
         await asyncio.to_thread(proc.join, 5.0)
         out_queue.close()
+        cmd_queue.close()

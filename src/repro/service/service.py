@@ -401,9 +401,9 @@ class SolverService:
             return not self.queue.budget_exhausted(tenant)
 
         runner = run_sim_job if self.backend == "sim" else run_process_job
-        kwargs = {}
-        if self.backend == "sim":
-            kwargs["slice_steps"] = self._slice_steps
+        # Both backends meter in slices: the sim backend on the event
+        # loop, the process backend inside the worker (progress reports).
+        kwargs = {"slice_steps": self._slice_steps}
         try:
             with tracer.span("svc.job", job=record.job_id, tenant=tenant,
                              instance=record.spec.instance_name):

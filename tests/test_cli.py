@@ -84,7 +84,7 @@ class TestCommands:
             "--topology", "ring", "--trace", str(trace_file),
         ])
         assert rc == 0
-        assert "trace written to" in capsys.readouterr().out
+        assert "trace written to" in capsys.readouterr().err
         assert trace_file.exists()
 
         assert main(["trace", "summarize", str(trace_file)]) == 0

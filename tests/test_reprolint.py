@@ -107,6 +107,25 @@ class TestRPL002WallClock:
         """)
         assert out == []
 
+    def test_fires_in_divide_package(self, tmp_path):
+        # The divide pipeline runs under virtual time (metered region
+        # sessions + metered repair); wall-clock reads are banned there.
+        out = lint_snippet(tmp_path, "src/repro/divide/pipeline.py", """\
+            import time
+
+            def merge_phase():
+                return time.perf_counter()
+        """)
+        assert ids_of(out) == ["RPL002"]
+
+    def test_silent_on_metered_divide_code(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/divide/pipeline.py", """\
+            def repair_phase(meter, ops: int) -> float:
+                meter.tick(ops)
+                return meter.vsec
+        """)
+        assert out == []
+
 
 class TestRPL003RawDistance:
     def test_fires_on_instance_dist_param(self, tmp_path):
@@ -147,6 +166,31 @@ class TestRPL003RawDistance:
         out = lint_snippet(tmp_path, "src/repro/analysis/quality.py", """\
             def gap(instance, a, b):
                 return instance.dist(a, b)
+        """)
+        assert out == []
+
+    def test_fires_in_divide_repair(self, tmp_path):
+        # The boundary-repair hot loop obeys the DistView discipline.
+        out = lint_snippet(tmp_path, "src/repro/divide/repair.py", """\
+            def stitch(partition, results):
+                instance = partition.instance
+                return instance.dist_many(0, [1, 2])
+        """)
+        assert ids_of(out) == ["RPL003"]
+
+    def test_silent_on_distview_in_divide_repair(self, tmp_path):
+        out = lint_snippet(tmp_path, "src/repro/divide/repair.py", """\
+            def stitch(partition, results, view):
+                return view.gather(0, [1, 2]) + view.dist(2, 3)
+        """)
+        assert out == []
+
+    def test_other_divide_modules_not_in_rpl003_scope(self, tmp_path):
+        # Only repair.py hosts a distance hot loop; the partitioner may
+        # query the instance directly (it builds the boundary graph).
+        out = lint_snippet(tmp_path, "src/repro/divide/partition.py", """\
+            def boundary(instance):
+                return instance.dist_many(0, [1, 2])
         """)
         assert out == []
 

@@ -291,6 +291,31 @@ class TestProcessBackend:
         assert status == "failed"
         assert "worker exited" in message
 
+    def test_process_budget_metering_stops_job_mid_run(self):
+        """The ROADMAP follow-up: process-backend budgeting is metering,
+        not admission control.  A job whose declared cost dwarfs the
+        tenant allowance is *admitted* (the old admission check would
+        have rejected it outright), paced by per-slice progress charges,
+        and stopped mid-run with a partial result once the allowance is
+        gone."""
+        async def main():
+            async with SolverService(backend="process") as svc:
+                svc.set_tenant("poor", TenantPolicy(max_concurrency=2,
+                                                    vsec_budget=0.2))
+                job_id = svc.submit(make_instance(), tenant="poor", seed=1,
+                                    budget_vsec_per_node=5.0, n_nodes=4)
+                with pytest.raises(JobError) as err:
+                    await svc.result(job_id, timeout=120)
+                return str(err.value), svc.status(job_id)
+
+        message, status = run(main())
+        assert status["status"] == "failed"
+        assert "budget" in message
+        # The overshoot was metered from worker progress reports — far
+        # less than the declared 20 vsec the old admission-only path
+        # charged, but at least the allowance itself.
+        assert 0.2 <= status["charged_vsec"] < 20.0
+
     def test_process_job_bit_identical_to_direct_solve(self):
         inst = make_instance(n=50)
         params = dict(budget_vsec_per_node=0.2, n_nodes=2, topology="ring")

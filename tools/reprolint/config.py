@@ -72,11 +72,16 @@ DEFAULT_SCOPES: dict[str, RuleScope] = {
     # fragments' reach (docs/OBSERVABILITY.md): spans measure wall time
     # *about* the virtual-time code without letting it read the clock,
     # so the tracer owns the perf_counter calls and nothing else does.
+    # src/repro/divide/ runs entirely under virtual time too: region
+    # solvers are metered sessions and the repair pass charges a
+    # WorkMeter, so wall-clock reads there would silently skew the
+    # phase accounting the divide.* spans report.
     "RPL002": RuleScope(
         include=(
             "src/repro/localsearch/",
             "src/repro/core/",
             "src/repro/distributed/simulator.py",
+            "src/repro/divide/",
         ),
         exclude=("src/repro/obs/",),
     ),
@@ -87,6 +92,9 @@ DEFAULT_SCOPES: dict[str, RuleScope] = {
     # contract — but carries a documented matrix-indexing exception
     # (Config.matrix_ok below): vectorized gather over view.matrix IS
     # its job, while instance.dist stays banned there like everywhere.
+    # The boundary-repair module hosts the divide pipeline's hot loop
+    # (stitching scans + the restricted 2-opt/or-opt pass), so it obeys
+    # the same DistView discipline as the operator modules.
     "RPL003": RuleScope(
         include=(
             "src/repro/localsearch/two_opt.py",
@@ -94,6 +102,7 @@ DEFAULT_SCOPES: dict[str, RuleScope] = {
             "src/repro/localsearch/three_opt.py",
             "src/repro/localsearch/lin_kernighan.py",
             "src/repro/localsearch/kernels.py",
+            "src/repro/divide/repair.py",
         ),
     ),
     # Wire-type hygiene applies to the modules whose dataclasses cross
@@ -103,6 +112,7 @@ DEFAULT_SCOPES: dict[str, RuleScope] = {
             "src/repro/distributed/message.py",
             "src/repro/core/node.py",
             "src/repro/localsearch/lin_kernighan.py",
+            "src/repro/divide/partition.py",
         ),
     ),
     # Blocking queue reads without a timeout are the hang class PR 1
@@ -134,6 +144,8 @@ DEFAULT_WIRE_TYPES: dict[str, tuple[str, ...]] = {
     "distributed/message.py": ("Message",),
     "core/node.py": ("NodeConfig",),
     "localsearch/lin_kernighan.py": ("LKConfig",),
+    # Regions ship into the divide scheduler's pool workers.
+    "divide/partition.py": ("Region",),
 }
 
 #: Field annotations accepted on wire types: immutable scalars, tuples,
